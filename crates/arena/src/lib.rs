@@ -1,0 +1,55 @@
+//! Relative pointers and identical slab allocators for DStore's two domains.
+//!
+//! DIPPER's backend design (§3.3 of the paper) hinges on three allocator
+//! properties:
+//!
+//! 1. **The same allocator works for DRAM and PMEM.** Shadow updates give
+//!    backend atomicity, so the PMEM allocator need not be crash-consistent
+//!    itself; any off-the-shelf design works, and keeping both domains
+//!    identical makes volatile-space reconstruction a straight copy.
+//! 2. **Relative pointers** ([`RelPtr`]) — offsets from the region base
+//!    instead of absolute addresses — so structures survive being copied to
+//!    a different region (checkpoint "new copy of the shadow copies") and
+//!    PMEM address-space relocation across restarts.
+//! 3. Two extra functions: *iterate over all allocated memory and flush it*
+//!    (checkpoint durability, [`Arena::persist_allocated`]) and *create a
+//!    copy of the allocator state* (checkpoint atomicity + crash recovery,
+//!    [`Arena::copy_allocated_to`]). Because the allocator's entire state
+//!    lives **inside** its region ([`slab::ArenaHeader`]), both are bulk
+//!    byte copies.
+//!
+//! The paper's DStore instantiates "a simple slab-based memory allocator
+//! [that] creates slabs in different size classes that are a power of two"
+//! (§4.2); [`slab::Arena`] is exactly that.
+
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod relptr;
+pub mod slab;
+
+pub use memory::{DramMemory, Memory, PmemRange};
+pub use relptr::{ByteSlice, RelPtr};
+pub use slab::{Arena, ArenaStats, MAX_CLASS_SIZE, MIN_CLASS_SIZE};
+
+/// Marker for types that may live inside an arena region.
+///
+/// # Safety
+///
+/// Implementors must be plain-old-data: no drop glue, no absolute pointers
+/// or references (use [`RelPtr`]), valid for any bit pattern that the arena
+/// produces (in particular all-zeroes), and safe to `memcpy` between
+/// regions.
+pub unsafe trait ArenaPod: Sized {}
+
+// SAFETY: primitive integers satisfy all ArenaPod requirements.
+unsafe impl ArenaPod for u8 {}
+unsafe impl ArenaPod for u16 {}
+unsafe impl ArenaPod for u32 {}
+unsafe impl ArenaPod for u64 {}
+unsafe impl ArenaPod for i64 {}
+unsafe impl ArenaPod for usize {}
+// SAFETY: a RelPtr is a bare offset; zero is the null pointer.
+unsafe impl<T> ArenaPod for RelPtr<T> {}
+// SAFETY: arrays of pod are pod.
+unsafe impl<T: ArenaPod, const N: usize> ArenaPod for [T; N] {}

@@ -1,0 +1,98 @@
+//! Property tests for the slab allocator.
+
+use dstore_arena::{Arena, DramMemory, Memory};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { size: usize, fill: u8 },
+    Free { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1usize..2048, any::<u8>()).prop_map(|(size, fill)| Op::Alloc { size, fill }),
+        1 => (0usize..64).prop_map(|idx| Op::Free { idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Live allocations never overlap and their contents are never
+    /// corrupted by other allocations or frees.
+    #[test]
+    fn allocations_are_disjoint_and_stable(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let arena = Arena::create(DramMemory::new(1 << 22));
+        // offset -> (size, fill)
+        let mut live: Vec<(u64, usize, u8)> = vec![];
+        for op in ops {
+            match op {
+                Op::Alloc { size, fill } => {
+                    if let Some(off) = arena.try_alloc_block(size) {
+                        // Check disjointness against every live block
+                        // (class-rounded size is what the allocator owns).
+                        let rounded = size.next_power_of_two().max(16);
+                        for &(o, s, _) in &live {
+                            let r = s.next_power_of_two().max(16);
+                            let overlap = off < o + r as u64 && o < off + rounded as u64;
+                            prop_assert!(!overlap, "blocks overlap: ({off},{rounded}) vs ({o},{r})");
+                        }
+                        // SAFETY: fresh allocation.
+                        unsafe {
+                            std::ptr::write_bytes(
+                                arena.memory().base().add(off as usize), fill, size);
+                        }
+                        live.push((off, size, fill));
+                    }
+                }
+                Op::Free { idx } => {
+                    if !live.is_empty() {
+                        let (off, size, _) = live.swap_remove(idx % live.len());
+                        arena.free_block(off, size);
+                    }
+                }
+            }
+            // Every live block still holds its fill pattern.
+            for &(off, size, fill) in &live {
+                // SAFETY: live allocation.
+                let s = unsafe {
+                    std::slice::from_raw_parts(arena.memory().base().add(off as usize), size)
+                };
+                prop_assert!(s.iter().all(|&b| b == fill), "corrupted block at {off}");
+            }
+        }
+        // Counters agree with the model.
+        let stats = arena.stats();
+        prop_assert_eq!(stats.live_blocks, live.len() as u64);
+    }
+
+    /// copy_allocated_to reproduces all live contents at the same offsets.
+    #[test]
+    fn region_copy_preserves_contents(
+        blocks in prop::collection::vec((1usize..1024, any::<u8>()), 1..40)
+    ) {
+        let src = Arena::create(DramMemory::new(1 << 21));
+        let mut live = HashMap::new();
+        for (size, fill) in blocks {
+            let off = src.alloc_block(size);
+            // SAFETY: fresh allocation.
+            unsafe {
+                std::ptr::write_bytes(src.memory().base().add(off as usize), fill, size);
+            }
+            live.insert(off, (size, fill));
+        }
+        let dst = Arena::create(DramMemory::new(1 << 21));
+        src.copy_allocated_to(&dst);
+        for (&off, &(size, fill)) in &live {
+            // SAFETY: copied region holds the same layout.
+            let s = unsafe {
+                std::slice::from_raw_parts(dst.memory().base().add(off as usize), size)
+            };
+            prop_assert!(s.iter().all(|&b| b == fill));
+        }
+        prop_assert_eq!(dst.stats().live_blocks, src.stats().live_blocks);
+        prop_assert_eq!(dst.stats().high_water, src.stats().high_water);
+    }
+}

@@ -1,0 +1,68 @@
+//! Architectural proxies for the paper's comparison systems.
+//!
+//! The paper compares DStore against one representative of each row of its
+//! Table 1. Porting the real codebases (RocksDB, MongoDB, PMSE, three
+//! filesystems) is neither feasible offline nor what the evaluation
+//! isolates — the paper's argument is about *persistence architectures*.
+//! Each proxy here reproduces the architecture and its characteristic
+//! stall behaviour on the same emulated devices DStore runs on:
+//!
+//! * [`LsmStore`] — **PMEM-RocksDB** (cached, continuous async
+//!   checkpoint): DRAM memtable + PMEM WAL + SSD sorted runs. Memtable
+//!   flushes block writers while the immutable memtable is compacted
+//!   ("the level 0 files must be locked until they have been compacted"),
+//!   and compaction backlog stalls writes — the quiescence violation of
+//!   Figure 7.
+//! * [`PageCacheBTree`] — **MongoDB-PM / WiredTiger** (cached, periodic
+//!   async checkpoint): DRAM page cache over SSD + PMEM journal; the
+//!   periodic checkpoint write-locks the cache while every dirty page is
+//!   made durable ("the page cache is locked until all pages are made
+//!   durable") — the big tail-latency spikes of Figures 1 and 8.
+//! * [`UncachedStore`] — **MongoDB-PMSE** (uncached, inline persistence):
+//!   index and values live in PMEM, every update runs an undo-logged
+//!   transaction with cache-line flushes and fences. No checkpoints, flat
+//!   timeline, near-instant recovery — but every operation pays the
+//!   transaction tax, and PMEM's own tail latency (§5.4, [66]) shows up
+//!   at p999+.
+//! * [`daxfs`] — metadata-update cost models for **xfs-DAX**, **ext4-DAX**
+//!   and **NOVA** (Figure 6).
+//!
+//! All proxies implement [`KvSystem`] so the benchmark harnesses can run
+//! them interchangeably with DStore.
+
+#![warn(missing_docs)]
+
+pub mod daxfs;
+pub mod lsm;
+pub mod pagecache;
+pub mod uncached;
+
+pub use daxfs::{DaxFs, FsKind};
+pub use lsm::LsmStore;
+pub use pagecache::PageCacheBTree;
+pub use uncached::UncachedStore;
+
+/// A key-value system under benchmark.
+pub trait KvSystem: Send + Sync {
+    /// Short display name for benchmark tables.
+    fn name(&self) -> &'static str;
+    /// Stores `value` under `key`, durably.
+    fn put(&self, key: &[u8], value: &[u8]);
+    /// Fetches the value under `key`.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Deletes `key`.
+    fn delete(&self, key: &[u8]);
+    /// Forces any pending checkpoint/flush work to complete.
+    fn quiesce(&self);
+    /// `(dram, pmem, ssd)` bytes in use (Figure 10).
+    fn footprint(&self) -> (u64, u64, u64);
+}
+
+#[cfg(test)]
+mod tests {
+    // Trait object safety check.
+    #[test]
+    fn kv_system_is_object_safe() {
+        fn _take(_s: &dyn super::KvSystem) {}
+    }
+}

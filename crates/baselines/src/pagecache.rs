@@ -1,0 +1,305 @@
+//! MongoDB-PM / WiredTiger proxy: a B-tree with a DRAM page cache, a PMEM
+//! journal, and periodic checkpoints that lock the cache.
+//!
+//! "MongoDB-PM uses a btree with a DRAM-backed page cache. On checkpoint,
+//! the page cache is locked until all pages are made durable. The need to
+//! lock the frontend results in significant delay for requests arriving
+//! during checkpoints and consequently high tail latency." (§2.1)
+
+use crate::KvSystem;
+use dstore_pmem::PmemPool;
+use dstore_ssd::{SsdDevice, PAGE_SIZE};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Journal region size within the pool.
+const JOURNAL_SIZE: usize = 8 << 20;
+
+/// One cached "page": a key range's entries plus dirty flag. SSD backing
+/// starts at `ssd_base` pages, `pages_per_slot` pages per slot.
+struct Page {
+    entries: BTreeMap<Vec<u8>, Vec<u8>>,
+    dirty: bool,
+}
+
+/// Tunables.
+#[derive(Debug, Clone)]
+pub struct PageCacheConfig {
+    /// Number of cache pages (keys hash across them).
+    pub pages: usize,
+    /// Checkpoint after this many journaled writes (the periodic
+    /// checkpoint — MongoDB's default is time-based; write-count is the
+    /// deterministic equivalent).
+    pub checkpoint_every: u64,
+    /// Software-path cost per write in ns (MongoDB + WiredTiger layers:
+    /// BSON handling, snapshotting, cursor machinery). Calibrated to the
+    /// paper's Figure 5 (MongoDB-PM updates ≈ 3–4× DStore's).
+    pub software_put_ns: u64,
+    /// Software-path cost per read in ns.
+    pub software_get_ns: u64,
+}
+
+impl Default for PageCacheConfig {
+    fn default() -> Self {
+        Self {
+            pages: 1024,
+            checkpoint_every: 8192,
+            software_put_ns: 28_000,
+            software_get_ns: 12_000,
+        }
+    }
+}
+
+impl PageCacheConfig {
+    /// Zero software cost (unit tests).
+    pub fn no_software_cost(mut self) -> Self {
+        self.software_put_ns = 0;
+        self.software_get_ns = 0;
+        self
+    }
+}
+
+/// The MongoDB-PM architectural proxy.
+pub struct PageCacheBTree {
+    pool: Arc<PmemPool>,
+    ssd: Arc<SsdDevice>,
+    cfg: PageCacheConfig,
+    /// Every op holds `read`; the checkpoint holds `write` for its whole
+    /// duration — the cache lock.
+    ckpt_lock: RwLock<()>,
+    pages: Vec<Mutex<Page>>,
+    journal_tail: Mutex<usize>,
+    writes: AtomicU64,
+    /// Diagnostics.
+    pub checkpoints: AtomicU64,
+}
+
+impl PageCacheBTree {
+    /// Creates the store over fresh devices.
+    pub fn new(pool: Arc<PmemPool>, ssd: Arc<SsdDevice>, cfg: PageCacheConfig) -> Arc<Self> {
+        assert!(pool.len() >= JOURNAL_SIZE, "pool too small for the journal");
+        let pages = (0..cfg.pages)
+            .map(|_| {
+                Mutex::new(Page {
+                    entries: BTreeMap::new(),
+                    dirty: false,
+                })
+            })
+            .collect();
+        Arc::new(Self {
+            pool,
+            ssd,
+            cfg,
+            ckpt_lock: RwLock::new(()),
+            pages,
+            journal_tail: Mutex::new(0),
+            writes: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+        })
+    }
+
+    fn page_of(&self, key: &[u8]) -> usize {
+        (dstore_index::fnv1a(key) as usize) % self.cfg.pages
+    }
+
+    /// Journals the write to PMEM (key + value: WiredTiger journals full
+    /// document images).
+    fn journal_append(&self, key: &[u8], value: &[u8]) {
+        let len = 16 + key.len() + value.len();
+        let mut tail = self.journal_tail.lock();
+        let off = if *tail + len > JOURNAL_SIZE { 0 } else { *tail };
+        *tail = off + len;
+        drop(tail);
+        self.pool.write_bytes(off, &(len as u64).to_le_bytes());
+        self.pool.write_bytes(off + 8, &key[..key.len().min(256)]);
+        self.pool
+            .write_bytes(off + 8 + key.len().min(256), &value[..value.len().min(8192)]);
+        self.pool.persist(off, len.min(JOURNAL_SIZE - off));
+    }
+
+    /// The checkpoint: write-lock the cache, persist every dirty page to
+    /// SSD, release. Requests arriving meanwhile wait on the lock.
+    fn checkpoint(&self) {
+        let _w = self.ckpt_lock.write();
+        for (i, page) in self.pages.iter().enumerate() {
+            let mut p = page.lock();
+            if !p.dirty {
+                continue;
+            }
+            // Serialize the page: charge one SSD page write per 4 KB of
+            // content (WiredTiger writes whole btree pages).
+            let bytes: usize = p
+                .entries
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 16)
+                .sum::<usize>()
+                .max(1);
+            let ssd_pages = bytes.div_ceil(PAGE_SIZE);
+            // Slot i owns a fixed page range on the SSD.
+            let base = 1 + (i as u64) * 64;
+            for sp in 0..ssd_pages.min(64) as u64 {
+                let buf = vec![0u8; PAGE_SIZE];
+                self.ssd.write_pages(base + sp, &buf);
+            }
+            p.dirty = false;
+        }
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl KvSystem for PageCacheBTree {
+    fn name(&self) -> &'static str {
+        "MongoDB-PM (page-cache proxy)"
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) {
+        dstore_pmem::latency::spin_for_ns(self.cfg.software_put_ns);
+        {
+            let _r = self.ckpt_lock.read();
+            self.journal_append(key, value);
+            let mut p = self.pages[self.page_of(key)].lock();
+            p.entries.insert(key.to_vec(), value.to_vec());
+            p.dirty = true;
+        }
+        // Periodic checkpoint — executed inline by the unlucky writer,
+        // blocking everyone (the paper's "requests arriving during
+        // checkpoints must wait").
+        let w = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if w.is_multiple_of(self.cfg.checkpoint_every) {
+            self.checkpoint();
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        // Reads also wait out checkpoints ("checkpoints impact both read
+        // and write requests", §5.4).
+        dstore_pmem::latency::spin_for_ns(self.cfg.software_get_ns);
+        let _r = self.ckpt_lock.read();
+        let p = self.pages[self.page_of(key)].lock();
+        p.entries.get(key).cloned()
+    }
+
+    fn delete(&self, key: &[u8]) {
+        let _r = self.ckpt_lock.read();
+        self.journal_append(key, b"");
+        let mut p = self.pages[self.page_of(key)].lock();
+        p.entries.remove(key);
+        p.dirty = true;
+    }
+
+    fn quiesce(&self) {
+        self.checkpoint();
+    }
+
+    fn footprint(&self) -> (u64, u64, u64) {
+        let mut dram = 0u64;
+        let mut ssd_bytes = 0u64;
+        for page in &self.pages {
+            let p = page.lock();
+            let bytes: usize = p.entries.iter().map(|(k, v)| k.len() + v.len() + 16).sum();
+            dram += bytes as u64;
+            ssd_bytes += (bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE) as u64;
+        }
+        // MongoDB reserves a large cache (default: half of RAM; modelled
+        // as 2x the live data, min 64 MB — "reserve a large chunk of DRAM
+        // ... but only actually utilize a small portion").
+        let reserved = (dram * 2).max(64 << 20);
+        (reserved, JOURNAL_SIZE as u64, ssd_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(cfg: PageCacheConfig) -> Arc<PageCacheBTree> {
+        let pool = Arc::new(PmemPool::anon(16 << 20));
+        let ssd = Arc::new(SsdDevice::anon(128 * 1024));
+        PageCacheBTree::new(pool, ssd, cfg.no_software_cost())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let s = store(PageCacheConfig::default());
+        s.put(b"x", b"one");
+        assert_eq!(s.get(b"x").unwrap(), b"one");
+        s.put(b"x", b"two");
+        assert_eq!(s.get(b"x").unwrap(), b"two");
+        s.delete(b"x");
+        assert_eq!(s.get(b"x"), None);
+    }
+
+    #[test]
+    fn checkpoint_triggers_and_clears_dirty() {
+        let s = store(PageCacheConfig {
+            pages: 64,
+            checkpoint_every: 100,
+            ..Default::default()
+        });
+        for i in 0..250 {
+            s.put(format!("k{i}").as_bytes(), &[0u8; 100]);
+        }
+        assert!(s.checkpoints.load(Ordering::Relaxed) >= 2);
+        // Data still readable after checkpoints.
+        for i in 0..250 {
+            assert!(s.get(format!("k{i}").as_bytes()).is_some());
+        }
+    }
+
+    #[test]
+    fn reads_block_during_checkpoint() {
+        use std::time::{Duration, Instant};
+        let s = store(PageCacheConfig {
+            pages: 2048,
+            checkpoint_every: u64::MAX,
+            ..Default::default()
+        });
+        // Dirty lots of pages so the checkpoint takes a while with a
+        // latency-modelled SSD... here devices are free, so just verify
+        // mutual exclusion via lock semantics.
+        for i in 0..2000 {
+            s.put(format!("k{i}").as_bytes(), &[0u8; 64]);
+        }
+        let s2 = Arc::clone(&s);
+        let ck = std::thread::spawn(move || s2.quiesce());
+        // Concurrent reads must still complete (after the checkpoint).
+        let t0 = Instant::now();
+        while s.get(b"k0").is_none() && t0.elapsed() < Duration::from_secs(2) {}
+        ck.join().unwrap();
+        assert!(s.get(b"k0").is_some());
+    }
+
+    #[test]
+    fn footprint_includes_reservation() {
+        let s = store(PageCacheConfig::default());
+        for i in 0..100 {
+            s.put(format!("f{i}").as_bytes(), &vec![0u8; 1000]);
+        }
+        let (dram, pmem, _ssd) = s.footprint();
+        assert!(dram >= 64 << 20, "reserved cache must dominate");
+        assert_eq!(pmem, JOURNAL_SIZE as u64);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let s = store(PageCacheConfig {
+            pages: 256,
+            checkpoint_every: 500,
+            ..Default::default()
+        });
+        std::thread::scope(|sc| {
+            for t in 0..4 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..300 {
+                        let k = format!("t{t}k{}", i % 50);
+                        s.put(k.as_bytes(), &[t as u8; 200]);
+                        assert!(s.get(k.as_bytes()).is_some());
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,61 @@
+//! **Figure 10** — Storage footprint with preloaded 4 KB objects.
+//!
+//! "We load two million objects into the system and then measure the
+//! total space (DRAM, PMEM, and SSD) consumed by each system." (Count
+//! scaled by `DSTORE_BENCH_SCALE`.) Expected shape: data footprints are
+//! nearly identical across systems; metadata overheads differ —
+//! MongoDB-PMSE smallest (no volatile cache), DStore next (up to three
+//! metadata copies, allocated ad-hoc), PMEM-RocksDB and MongoDB-PM
+//! largest (reserved caches).
+
+use dstore_baselines::KvSystem;
+use dstore_bench::*;
+
+fn gb(bytes: u64) -> String {
+    format!("{:.3}", bytes as f64 / 1e9)
+}
+
+fn row(name: &str, f: (u64, u64, u64), logical: u64) {
+    let total = f.0 + f.1 + f.2;
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>8.2}",
+        name,
+        gb(f.0),
+        gb(f.1),
+        gb(f.2),
+        gb(total),
+        total as f64 / logical.max(1) as f64
+    );
+}
+
+fn main() {
+    let objects = count(100_000);
+    let logical = (objects * VALUE_SIZE) as u64;
+    println!("# Figure 10: storage footprint with {objects} 4KB objects (GB)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "system", "DRAM", "PMEM", "SSD", "total", "ampl."
+    );
+
+    {
+        let kv = DStoreKv::new(dstore_default(objects), "DStore");
+        preload(&kv, objects);
+        kv.store().checkpoint_now();
+        row("DStore", kv.footprint(), logical);
+    }
+    {
+        let lsm = build_lsm(objects, true);
+        preload(lsm.as_ref(), objects);
+        row("PMEM-RocksDB", lsm.footprint(), logical);
+    }
+    {
+        let mongo = build_pagecache(true);
+        preload(mongo.as_ref(), objects);
+        row("MongoDB-PM", mongo.footprint(), logical);
+    }
+    {
+        let pmse = build_uncached(objects);
+        preload(pmse.as_ref(), objects);
+        row("MongoDB-PMSE", pmse.footprint(), logical);
+    }
+}

@@ -1,0 +1,54 @@
+//! **Figure 1** — Tail latency overhead of checkpoints.
+//!
+//! "We compare the tail latency of writes for a full-subscription 50 %
+//! read, 50 % write workload" with and without checkpoints, for
+//! PMEM-RocksDB, MongoDB-PM, and DStore (CoW). Expected shape: disabling
+//! checkpoints lowers p999/p9999 dramatically for all cached systems.
+
+use dstore::{CheckpointMode, LoggingMode};
+use dstore_bench::*;
+use dstore_workload::WorkloadKind;
+
+fn main() {
+    let keys = count(DEFAULT_KEYS);
+    let duration = secs(6.0);
+    let threads = threads();
+    println!("# Figure 1: write tail latency with/without checkpoints");
+    println!("# keys={keys} value=4KB threads={threads} window={duration:?} workload=50R/50W");
+    percentile_header("write (update) latency");
+
+    for checkpoints in [true, false] {
+        let suffix = if checkpoints { "+ckpt" } else { "-ckpt" };
+
+        let lsm = build_lsm(keys, checkpoints);
+        preload(lsm.as_ref(), keys);
+        let r = run_ycsb(lsm.as_ref(), WorkloadKind::A, keys, duration, threads);
+        percentile_row(&format!("PMEM-RocksDB {suffix}"), &r.update_hist);
+
+        let mongo = build_pagecache(checkpoints);
+        preload(mongo.as_ref(), keys);
+        let r = run_ycsb(mongo.as_ref(), WorkloadKind::A, keys, duration, threads);
+        percentile_row(&format!("MongoDB-PM {suffix}"), &r.update_hist);
+
+        let cow = DStoreKv::new(
+            build_dstore(
+                CheckpointMode::Cow,
+                LoggingMode::Logical,
+                true,
+                checkpoints,
+                keys,
+            ),
+            "DStore (CoW)",
+        );
+        preload(&cow, keys);
+        let r = run_ycsb(&cow, WorkloadKind::A, keys, duration, threads);
+        percentile_row(&format!("DStore (CoW) {suffix}"), &r.update_hist);
+    }
+
+    // Footnote 1 of the paper: DStore with DIPPER does not suffer the
+    // checkpoint tail-latency overhead at all.
+    let dipper = DStoreKv::new(dstore_default(keys), "DStore");
+    preload(&dipper, keys);
+    let r = run_ycsb(&dipper, WorkloadKind::A, keys, duration, threads);
+    percentile_row("DStore (DIPPER) +ckpt", &r.update_hist);
+}

@@ -1,0 +1,84 @@
+//! **Figure 5** — YCSB operation latency.
+//!
+//! "We measure the average latency of 4 KB read and update operations at
+//! full-subscription with YCSB workloads A (50 % read, 50 % write) and B
+//! (95 % read, 5 % write)." Expected shape: DStore lowest in all cases
+//! (up to ~4× vs the slowest), update latency lower under B than A for
+//! every system, DStore(CoW) ≈ DStore on *average* latency.
+
+use dstore::{CheckpointMode, LoggingMode};
+use dstore_baselines::KvSystem;
+use dstore_bench::*;
+use dstore_workload::WorkloadKind;
+
+/// Object-safety shim: builders return differently-typed systems.
+trait KvSystemHolder {
+    fn as_kv(&self) -> &dyn KvSystem;
+}
+impl KvSystemHolder for DStoreKv {
+    fn as_kv(&self) -> &dyn KvSystem {
+        self
+    }
+}
+impl KvSystemHolder for std::sync::Arc<dstore_baselines::LsmStore> {
+    fn as_kv(&self) -> &dyn KvSystem {
+        self.as_ref()
+    }
+}
+impl KvSystemHolder for std::sync::Arc<dstore_baselines::PageCacheBTree> {
+    fn as_kv(&self) -> &dyn KvSystem {
+        self.as_ref()
+    }
+}
+impl KvSystemHolder for std::sync::Arc<dstore_baselines::UncachedStore> {
+    fn as_kv(&self) -> &dyn KvSystem {
+        self.as_ref()
+    }
+}
+
+fn main() {
+    let keys = count(DEFAULT_KEYS);
+    let duration = secs(5.0);
+    let threads = threads();
+    println!("# Figure 5: YCSB average operation latency (us)");
+    println!("# keys={keys} value=4KB threads={threads} window={duration:?}");
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>12}",
+        "system", "A read", "A update", "B read", "B update"
+    );
+
+    type Builder = Box<dyn Fn(usize) -> Box<dyn KvSystemHolder>>;
+    let builders: Vec<(&str, Builder)> = vec![
+        (
+            "DStore",
+            Box::new(|k| Box::new(DStoreKv::new(dstore_default(k), "DStore"))),
+        ),
+        (
+            "DStore (CoW)",
+            Box::new(|k| {
+                Box::new(DStoreKv::new(
+                    build_dstore(CheckpointMode::Cow, LoggingMode::Logical, true, true, k),
+                    "DStore (CoW)",
+                ))
+            }),
+        ),
+        ("PMEM-RocksDB", Box::new(|k| Box::new(build_lsm(k, true)))),
+        ("MongoDB-PM", Box::new(|_| Box::new(build_pagecache(true)))),
+        ("MongoDB-PMSE", Box::new(|k| Box::new(build_uncached(k)))),
+    ];
+
+    for (name, build) in &builders {
+        let mut cells = Vec::new();
+        for kind in [WorkloadKind::A, WorkloadKind::B] {
+            let sys = build(keys);
+            preload(sys.as_kv(), keys);
+            let r = run_ycsb(sys.as_kv(), kind, keys, duration, threads);
+            cells.push(us(r.read_hist.mean() as u64));
+            cells.push(us(r.update_hist.mean() as u64));
+        }
+        println!(
+            "{name:<34} {:>12} {:>12} {:>12} {:>12}",
+            cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+}

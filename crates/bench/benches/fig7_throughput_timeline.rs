@@ -1,0 +1,110 @@
+//! **Figure 7** — System throughput and storage bandwidth over time.
+//!
+//! "We measure the aggregate throughput over a 1 minute window … The
+//! troughs in the graph represent periods of checkpoint." Expected
+//! shapes: DStore sustains the highest throughput with only slight dips
+//! during checkpoints (its worst interval beats everyone's best — the
+//! throughput SLO); MongoDB-PM shows deep periodic troughs; PMEM-RocksDB
+//! stalls (quiescence violation); MongoDB-PMSE is flat but lower; DStore's
+//! SSD bandwidth mirrors its throughput and its PMEM bandwidth pulses
+//! with checkpoints.
+
+use dstore::{CheckpointMode, LoggingMode};
+use dstore_baselines::KvSystem;
+use dstore_bench::*;
+use dstore_workload::{Timeline, WorkloadKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_one(name: &str, sys: &dyn KvSystem, probe: DeviceProbe, keys: usize, window: Duration) {
+    preload(sys, keys);
+    let counting = CountingKv::new(sys);
+    let threads = threads();
+    let mut timeline = Timeline::new(Duration::from_millis(500));
+    std::thread::scope(|s| {
+        let c = &counting;
+        let worker =
+            s.spawn(move || run_ycsb(c, WorkloadKind::A, keys, window + Duration::from_millis(200), threads));
+        timeline.sample_for(window, || probe.counters(&counting.ops));
+        let _ = worker.join();
+    });
+
+    println!("\n## {name}");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12}",
+        "t(s)", "kops/s", "ssdW MB/s", "ssdR MB/s", "pmemW MB/s"
+    );
+    for s in timeline.samples() {
+        println!(
+            "{:>6.1} {:>10.1} {:>12.1} {:>12.1} {:>12.1}",
+            s.t_secs,
+            s.ops_per_sec / 1e3,
+            s.ssd_write_bps / 1e6,
+            s.ssd_read_bps / 1e6,
+            s.pmem_write_bps / 1e6
+        );
+    }
+    println!(
+        "summary: mean={:.1} kops/s  min(SLO)={:.1} kops/s  quiesced={}",
+        timeline.mean_ops_per_sec() / 1e3,
+        timeline.min_ops_per_sec() / 1e3,
+        timeline.fully_quiesced()
+    );
+}
+
+fn main() {
+    let keys = count(DEFAULT_KEYS);
+    let window = secs(10.0);
+    println!("# Figure 7: throughput + device bandwidth over a {window:?} window");
+    println!("# keys={keys} value=4KB threads={} workload=50R/50W", threads());
+
+    {
+        let kv = DStoreKv::new(dstore_default(keys), "DStore");
+        let probe = DeviceProbe {
+            pmem: Arc::clone(kv.store().pmem()),
+            ssd: Arc::clone(kv.store().ssd()),
+        };
+        run_one("DStore", &kv, probe, keys, window);
+    }
+    {
+        let kv = DStoreKv::new(
+            build_dstore(CheckpointMode::Cow, LoggingMode::Logical, true, true, keys),
+            "DStore (CoW)",
+        );
+        let probe = DeviceProbe {
+            pmem: Arc::clone(kv.store().pmem()),
+            ssd: Arc::clone(kv.store().ssd()),
+        };
+        run_one("DStore (CoW)", &kv, probe, keys, window);
+    }
+    {
+        let (pool, ssd) = bench_devices((keys as u64) * 16 + 8192);
+        let lsm = dstore_baselines::LsmStore::new(
+            Arc::clone(&pool),
+            Arc::clone(&ssd),
+            dstore_baselines::lsm::LsmConfig::default(),
+        );
+        run_one("PMEM-RocksDB", lsm.as_ref(), DeviceProbe { pmem: pool, ssd }, keys, window);
+    }
+    {
+        let cfg = dstore_baselines::pagecache::PageCacheConfig::default();
+        let (pool, ssd) = bench_devices(1 + cfg.pages as u64 * 64 + 1024);
+        let mongo =
+            dstore_baselines::PageCacheBTree::new(Arc::clone(&pool), Arc::clone(&ssd), cfg);
+        run_one("MongoDB-PM", mongo.as_ref(), DeviceProbe { pmem: pool, ssd }, keys, window);
+    }
+    {
+        let pool = Arc::new(
+            dstore_pmem::PoolBuilder::new(((keys * 8192) + (64 << 20)).next_power_of_two())
+                .latency(dstore_pmem::LatencyModel::optane())
+                .build()
+                .unwrap(),
+        );
+        let ssd = Arc::new(dstore_ssd::SsdDevice::anon(64)); // unused by PMSE
+        let pmse = dstore_baselines::UncachedStore::new(
+            Arc::clone(&pool),
+            dstore_baselines::uncached::UncachedConfig::default(),
+        );
+        run_one("MongoDB-PMSE", pmse.as_ref(), DeviceProbe { pmem: pool, ssd }, keys, window);
+    }
+}

@@ -1,0 +1,96 @@
+//! **Figure 8** — Tail latency curves at full subscription.
+//!
+//! Read and update latency percentiles for YCSB A and B across all
+//! systems. Expected shape: DStore has the flattest curves and lowest
+//! values (up to 6× lower); CoW spikes at p9999 under the write-heavy A
+//! but stays close to DStore under B (fewer checkpoints); MongoDB-PMSE
+//! shows p999+/p9999 spikes from PMEM's own tail latency despite having
+//! no checkpoints; read tails suffer alongside writes for the cached
+//! systems.
+
+use dstore::{CheckpointMode, LoggingMode};
+use dstore_bench::*;
+use dstore_workload::{LatencyHistogram, WorkloadKind};
+
+fn curve(label: &str, h: &LatencyHistogram) {
+    let pcts = [50.0, 90.0, 99.0, 99.9, 99.99];
+    print!("{label:<34}");
+    for p in pcts {
+        print!(" {:>10}", us(h.percentile(p)));
+    }
+    println!(" {:>10}", h.count());
+}
+
+fn header(title: &str) {
+    println!("\n== {title}");
+    println!(
+        "{:<34} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "system", "p50", "p90", "p99", "p999", "p9999", "ops"
+    );
+}
+
+fn main() {
+    let keys = count(DEFAULT_KEYS);
+    let duration = secs(6.0);
+    let threads = threads();
+    println!("# Figure 8: tail latency curves (us), value=4KB, threads={threads}");
+
+    for kind in [WorkloadKind::A, WorkloadKind::B] {
+        let wname = if kind == WorkloadKind::A { "A (50R/50W)" } else { "B (95R/5W)" };
+        let mut read_rows: Vec<(String, LatencyHistogram)> = Vec::new();
+        let mut update_rows: Vec<(String, LatencyHistogram)> = Vec::new();
+
+        // DStore
+        {
+            let kv = DStoreKv::new(dstore_default(keys), "DStore");
+            preload(&kv, keys);
+            let r = run_ycsb(&kv, kind, keys, duration, threads);
+            read_rows.push(("DStore".into(), r.read_hist));
+            update_rows.push(("DStore".into(), r.update_hist));
+        }
+        // DStore (CoW)
+        {
+            let kv = DStoreKv::new(
+                build_dstore(CheckpointMode::Cow, LoggingMode::Logical, true, true, keys),
+                "DStore (CoW)",
+            );
+            preload(&kv, keys);
+            let r = run_ycsb(&kv, kind, keys, duration, threads);
+            read_rows.push(("DStore (CoW)".into(), r.read_hist));
+            update_rows.push(("DStore (CoW)".into(), r.update_hist));
+        }
+        // PMEM-RocksDB
+        {
+            let lsm = build_lsm(keys, true);
+            preload(lsm.as_ref(), keys);
+            let r = run_ycsb(lsm.as_ref(), kind, keys, duration, threads);
+            read_rows.push(("PMEM-RocksDB".into(), r.read_hist));
+            update_rows.push(("PMEM-RocksDB".into(), r.update_hist));
+        }
+        // MongoDB-PM
+        {
+            let mongo = build_pagecache(true);
+            preload(mongo.as_ref(), keys);
+            let r = run_ycsb(mongo.as_ref(), kind, keys, duration, threads);
+            read_rows.push(("MongoDB-PM".into(), r.read_hist));
+            update_rows.push(("MongoDB-PM".into(), r.update_hist));
+        }
+        // MongoDB-PMSE
+        {
+            let pmse = build_uncached(keys);
+            preload(pmse.as_ref(), keys);
+            let r = run_ycsb(pmse.as_ref(), kind, keys, duration, threads);
+            read_rows.push(("MongoDB-PMSE".into(), r.read_hist));
+            update_rows.push(("MongoDB-PMSE".into(), r.update_hist));
+        }
+
+        header(&format!("YCSB {wname}: read latency"));
+        for (name, h) in &read_rows {
+            curve(name, h);
+        }
+        header(&format!("YCSB {wname}: update latency"));
+        for (name, h) in &update_rows {
+            curve(name, h);
+        }
+    }
+}

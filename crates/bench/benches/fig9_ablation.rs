@@ -1,0 +1,42 @@
+//! **Figure 9** — Effect of optimizations on write latency.
+//!
+//! "We first evaluate the baseline design, adding optimizations one-by-one
+//! and measuring performance again. The naïve baseline uses ARIES-style
+//! physical logging, used in NV-HTM and DudeTM, with CoW checkpoints."
+//! Expected shape: physical→logical improves *average* latency (~21 %
+//! avg, ~15 % tail in the paper); +DIPPER improves *tail* latency
+//! dramatically (~7.6×) while barely moving the average; +OE shaves the
+//! remaining synchronization overhead at high concurrency.
+
+use dstore::{CheckpointMode, LoggingMode};
+use dstore_bench::*;
+use dstore_workload::WorkloadKind;
+
+fn main() {
+    let keys = count(DEFAULT_KEYS);
+    let duration = secs(6.0);
+    let threads = threads();
+    println!("# Figure 9: ablation — write latency (us), 50R/50W, threads={threads}");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "configuration", "average", "p9999"
+    );
+
+    let configs: [(&str, CheckpointMode, LoggingMode, bool); 4] = [
+        ("naive (physical log + CoW)", CheckpointMode::Cow, LoggingMode::Physical, false),
+        ("+logical (logical log + CoW)", CheckpointMode::Cow, LoggingMode::Logical, false),
+        ("+DIPPER (decoupled ckpt)", CheckpointMode::Dipper, LoggingMode::Logical, false),
+        ("+OE (full DStore)", CheckpointMode::Dipper, LoggingMode::Logical, true),
+    ];
+
+    for (name, ckpt, logging, oe) in configs {
+        let kv = DStoreKv::new(build_dstore(ckpt, logging, oe, true, keys), "DStore");
+        preload(&kv, keys);
+        let r = run_ycsb(&kv, WorkloadKind::A, keys, duration, threads);
+        println!(
+            "{name:<34} {:>12} {:>12}",
+            us(r.update_hist.mean() as u64),
+            us(r.update_hist.percentile(99.99))
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! **Table 5** — Summary of achievable service level objectives.
+//!
+//! "These represent the worst case values we obtained in our
+//! experiments": worst-interval throughput, p9999 latency, recovery
+//! latency, and space amplification. Expected shape: DStore wins
+//! throughput and p9999; MongoDB-PMSE wins recovery and space; DStore
+//! (CoW) matches DStore's recovery/space but not its performance.
+
+use dstore::{CheckpointMode, LoggingMode};
+use dstore_baselines::KvSystem;
+use dstore_bench::*;
+use dstore_workload::{Timeline, WorkloadKind};
+use std::time::Duration;
+
+struct SloRow {
+    name: &'static str,
+    throughput_slo: f64,
+    p9999_ns: u64,
+    space_ampl: f64,
+}
+
+fn measure(name: &'static str, sys: &dyn KvSystem, keys: usize, window: Duration) -> SloRow {
+    preload(sys, keys);
+    let counting = CountingKv::new(sys);
+    let threads = threads();
+    let mut timeline = Timeline::new(Duration::from_millis(500));
+    let mut p9999 = 0;
+    std::thread::scope(|s| {
+        let c = &counting;
+        let worker = s.spawn(move || {
+            run_ycsb(c, WorkloadKind::A, keys, window + Duration::from_millis(200), threads)
+        });
+        timeline.sample_for(window, || {
+            (
+                counting.ops.load(std::sync::atomic::Ordering::Relaxed),
+                0,
+                0,
+                0,
+            )
+        });
+        let report = worker.join().unwrap();
+        let merged = dstore_workload::LatencyHistogram::new();
+        merged.merge(&report.read_hist);
+        merged.merge(&report.update_hist);
+        p9999 = merged.percentile(99.99);
+    });
+    let (d, p, s) = sys.footprint();
+    let logical = (keys * VALUE_SIZE) as f64;
+    SloRow {
+        name,
+        throughput_slo: timeline.min_ops_per_sec(),
+        p9999_ns: p9999,
+        space_ampl: (d + p + s) as f64 / logical,
+    }
+}
+
+fn main() {
+    let keys = count(DEFAULT_KEYS);
+    let window = secs(8.0);
+    println!("# Table 5: achievable SLOs (worst-case values), 50R/50W, {keys} keys");
+    println!(
+        "{:<16} {:>16} {:>14} {:>12}",
+        "system", "tput SLO (IOPS)", "p9999 (us)", "space ampl"
+    );
+
+    let mut rows = Vec::new();
+    {
+        let kv = DStoreKv::new(dstore_default(keys), "DStore");
+        rows.push(measure("DStore", &kv, keys, window));
+    }
+    {
+        let kv = DStoreKv::new(
+            build_dstore(CheckpointMode::Cow, LoggingMode::Logical, true, true, keys),
+            "DStore (CoW)",
+        );
+        rows.push(measure("DStore (CoW)", &kv, keys, window));
+    }
+    {
+        let lsm = build_lsm(keys, true);
+        rows.push(measure("PMEM-RocksDB", lsm.as_ref(), keys, window));
+    }
+    {
+        let mongo = build_pagecache(true);
+        rows.push(measure("MongoDB-PM", mongo.as_ref(), keys, window));
+    }
+    {
+        let pmse = build_uncached(keys);
+        rows.push(measure("MongoDB-PMSE", pmse.as_ref(), keys, window));
+    }
+
+    for r in &rows {
+        println!(
+            "{:<16} {:>16.0} {:>14} {:>12.2}",
+            r.name,
+            r.throughput_slo,
+            us(r.p9999_ns),
+            r.space_ampl
+        );
+    }
+    println!("\n(recovery latency SLO: see table4_recovery)");
+}

@@ -1,0 +1,141 @@
+//! Writer-side concurrency-control state.
+//!
+//! Write-write conflicts are handled by the log itself (§4.4, implemented
+//! in `dstore-dipper`): a new write's append scans for in-flight records
+//! on the same object and spins on their commit flags.
+//!
+//! Read-write conflicts use the read-count table
+//! ([`dstore_index::ReadCounts`]): a writer polls the object's read count
+//! until it reaches zero. To keep that poll from racing with *newly
+//! arriving* readers (and to avoid reader/writer livelock), writers also
+//! register in this [`InflightWriters`] set for the duration of their
+//! metadata/data mutation; a reader that finds its object in the set backs
+//! off (releasing its read count) until the writer finishes. The ordering
+//! — writer registers *before* polling read counts, reader re-checks
+//! *after* incrementing — makes the protocol deadlock-free: readers always
+//! release and retry, writers always drain.
+
+use dstore_index::fnv1a;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+const SHARDS: usize = 64;
+
+/// Sharded set of object names currently being mutated.
+pub struct InflightWriters {
+    shards: Vec<Mutex<HashSet<Vec<u8>>>>,
+}
+
+impl Default for InflightWriters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InflightWriters {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, name: &[u8]) -> &Mutex<HashSet<Vec<u8>>> {
+        &self.shards[(fnv1a(name) as usize) & (SHARDS - 1)]
+    }
+
+    /// Registers a writer. Write-write CC (the log scan) guarantees at
+    /// most one writer per object, so double registration is a logic bug.
+    pub fn register(&self, name: &[u8]) {
+        let inserted = self.shard(name).lock().insert(name.to_vec());
+        debug_assert!(inserted, "two concurrent writers on one object");
+    }
+
+    /// Unregisters a writer.
+    pub fn unregister(&self, name: &[u8]) {
+        let removed = self.shard(name).lock().remove(name);
+        debug_assert!(removed, "unregister without register");
+    }
+
+    /// Whether a writer is mutating `name` right now.
+    pub fn contains(&self, name: &[u8]) -> bool {
+        self.shard(name).lock().contains(name)
+    }
+
+    /// Spins until no writer is mutating `name` (reader back-off path).
+    pub fn wait_clear(&self, name: &[u8]) {
+        let t = std::time::Instant::now();
+        while self.contains(name) {
+            std::thread::yield_now();
+            // Deadlock detector: writers unregister at the end of one op.
+            if t.elapsed().as_secs() > 30 {
+                panic!(
+                    "wait_clear stalled >30s on {:?} — leaked writer registration?",
+                    String::from_utf8_lossy(name)
+                );
+            }
+        }
+    }
+}
+
+/// RAII registration.
+pub struct WriterGuard<'a> {
+    set: &'a InflightWriters,
+    name: Vec<u8>,
+}
+
+impl<'a> WriterGuard<'a> {
+    /// Registers `name` until drop.
+    pub fn new(set: &'a InflightWriters, name: &[u8]) -> Self {
+        set.register(name);
+        Self {
+            set,
+            name: name.to_vec(),
+        }
+    }
+}
+
+impl Drop for WriterGuard<'_> {
+    fn drop(&mut self) {
+        self.set.unregister(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_contains_unregister() {
+        let w = InflightWriters::new();
+        assert!(!w.contains(b"a"));
+        w.register(b"a");
+        assert!(w.contains(b"a"));
+        assert!(!w.contains(b"b"));
+        w.unregister(b"a");
+        assert!(!w.contains(b"a"));
+    }
+
+    #[test]
+    fn guard_is_raii() {
+        let w = InflightWriters::new();
+        {
+            let _g = WriterGuard::new(&w, b"obj");
+            assert!(w.contains(b"obj"));
+        }
+        assert!(!w.contains(b"obj"));
+    }
+
+    #[test]
+    fn wait_clear_unblocks() {
+        use std::sync::Arc;
+        let w = Arc::new(InflightWriters::new());
+        w.register(b"busy");
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || w2.wait_clear(b"busy"));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        w.unregister(b"busy");
+        t.join().unwrap();
+    }
+}

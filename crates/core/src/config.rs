@@ -1,0 +1,237 @@
+//! Store configuration.
+
+use dstore_pmem::LatencyModel;
+use dstore_ssd::SsdLatency;
+use std::path::PathBuf;
+
+/// Which checkpoint architecture the store runs (§4.5 "CoW Design" /
+/// Figure 9 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// DIPPER: decoupled, parallel, quiescent-free (the paper's design).
+    Dipper,
+    /// Copy-on-write checkpoints as used by NOVA and Pronto, implemented
+    /// inside DStore for fair comparison: the trigger drains in-flight
+    /// operations, and writes arriving during the checkpoint must wait
+    /// for page copies.
+    Cow,
+}
+
+/// Log record contents (Figure 9 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoggingMode {
+    /// Compact logical records: op code + parameters, ~40 B + name.
+    Logical,
+    /// ARIES-style physical records carrying metadata post-images and
+    /// structure-page padding (DudeTM / NV-HTM style), several cache
+    /// lines per record.
+    Physical,
+}
+
+/// Configuration for creating or recovering a [`crate::DStore`].
+#[derive(Debug, Clone)]
+pub struct DStoreConfig {
+    /// Capacity of each of the two PMEM log buffers.
+    pub log_size: usize,
+    /// Capacity of each PMEM shadow region (and of the DRAM system space).
+    pub shadow_size: usize,
+    /// SSD capacity in 4 KB pages (page 0 is the superblock).
+    pub ssd_pages: u64,
+    /// SSD pages per allocation block ("SSD pages are grouped into blocks
+    /// which are the unit of data allocation", §4.2). 1 matches the
+    /// paper's 4 KB evaluation; larger blocks shrink the pool and
+    /// metadata for big-object workloads at the cost of internal
+    /// fragmentation.
+    pub pages_per_block: u64,
+    /// Checkpoint architecture.
+    pub checkpoint: CheckpointMode,
+    /// Log record format.
+    pub logging: LoggingMode,
+    /// Observational-equivalence concurrency (§3.7/§4.4). When off, every
+    /// mutating operation serializes on one global lock — the "-OE" point
+    /// of Figure 9.
+    pub oe: bool,
+    /// Automatically trigger checkpoints when the log crosses
+    /// `swap_threshold`. Disable to measure checkpoint-free behaviour
+    /// (Figure 1) or to drive checkpoints manually in crash tests.
+    pub auto_checkpoint: bool,
+    /// Log-occupancy fraction that triggers a checkpoint.
+    pub swap_threshold: f64,
+    /// Use the strict cache-line persistence simulator (crash tests).
+    /// Benchmarks leave this off and rely on the latency models.
+    pub strict_pmem: bool,
+    /// PMEM device latency model.
+    pub pmem_latency: LatencyModel,
+    /// SSD device latency model.
+    pub ssd_latency: SsdLatency,
+    /// Back the PMEM pool with this file (emulated DAX file).
+    pub pmem_file: Option<PathBuf>,
+    /// Back the SSD with this file.
+    pub ssd_file: Option<PathBuf>,
+}
+
+impl Default for DStoreConfig {
+    fn default() -> Self {
+        Self {
+            log_size: 4 << 20,
+            shadow_size: 64 << 20,
+            ssd_pages: 64 * 1024, // 256 MB
+            pages_per_block: 1,
+            checkpoint: CheckpointMode::Dipper,
+            logging: LoggingMode::Logical,
+            oe: true,
+            auto_checkpoint: true,
+            swap_threshold: 0.75,
+            strict_pmem: false,
+            pmem_latency: LatencyModel::none(),
+            ssd_latency: SsdLatency::none(),
+            pmem_file: None,
+            ssd_file: None,
+        }
+    }
+}
+
+impl DStoreConfig {
+    /// A small configuration for tests and examples: 256 KB logs, 4 MB
+    /// shadows, 16 MB SSD, strict persistence simulation.
+    pub fn small() -> Self {
+        Self {
+            log_size: 256 << 10,
+            shadow_size: 4 << 20,
+            ssd_pages: 4096,
+            strict_pmem: true,
+            ..Default::default()
+        }
+    }
+
+    /// Benchmark configuration: fast-mode PMEM with Optane-calibrated
+    /// latencies and a P4800X-calibrated SSD.
+    pub fn bench() -> Self {
+        Self {
+            strict_pmem: false,
+            pmem_latency: LatencyModel::optane(),
+            ssd_latency: SsdLatency::p4800x(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setters.
+    pub fn with_checkpoint(mut self, m: CheckpointMode) -> Self {
+        self.checkpoint = m;
+        self
+    }
+    /// Sets the logging mode.
+    pub fn with_logging(mut self, m: LoggingMode) -> Self {
+        self.logging = m;
+        self
+    }
+    /// Enables/disables observational-equivalence concurrency.
+    pub fn with_oe(mut self, oe: bool) -> Self {
+        self.oe = oe;
+        self
+    }
+    /// Enables/disables automatic checkpoints.
+    pub fn with_auto_checkpoint(mut self, auto: bool) -> Self {
+        self.auto_checkpoint = auto;
+        self
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem. Called by [`crate::DStore::create`] so misconfigurations
+    /// fail fast instead of panicking deep inside an allocator.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ssd_pages < 8 {
+            return Err(format!("ssd_pages = {} is too small (minimum 8)", self.ssd_pages));
+        }
+        if self.pages_per_block == 0 {
+            return Err("pages_per_block must be at least 1".into());
+        }
+        if self.pages_per_block >= self.ssd_pages {
+            return Err(format!(
+                "pages_per_block = {} leaves no data blocks on a {}-page SSD",
+                self.pages_per_block, self.ssd_pages
+            ));
+        }
+        if self.log_size < 16 << 10 {
+            return Err(format!(
+                "log_size = {} is too small (minimum 16 KiB; records are up to ~64 KiB)",
+                self.log_size
+            ));
+        }
+        if !(0.05..=0.95).contains(&self.swap_threshold) {
+            return Err(format!(
+                "swap_threshold = {} must be within [0.05, 0.95]",
+                self.swap_threshold
+            ));
+        }
+        // The shadow arena must hold the block-pool ring plus headroom
+        // for per-object metadata; a pool array that alone exceeds the
+        // region would panic at format time.
+        let pool_bytes = (self.ssd_pages / self.pages_per_block) * 8;
+        if (self.shadow_size as u64) < pool_bytes * 2 + (1 << 20) {
+            return Err(format!(
+                "shadow_size = {} cannot hold the {}-entry block pool plus metadata;                  increase it to at least {}",
+                self.shadow_size,
+                self.ssd_pages / self.pages_per_block,
+                pool_bytes * 2 + (1 << 20)
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DStoreConfig::default();
+        assert!(c.oe);
+        assert!(c.auto_checkpoint);
+        assert_eq!(c.checkpoint, CheckpointMode::Dipper);
+        assert_eq!(c.logging, LoggingMode::Logical);
+        assert!(c.swap_threshold > 0.0 && c.swap_threshold < 1.0);
+    }
+
+    #[test]
+    fn validation_catches_misconfigurations() {
+        assert!(DStoreConfig::default().validate().is_ok());
+        assert!(DStoreConfig::small().validate().is_ok());
+        assert!(DStoreConfig::bench().validate().is_ok());
+
+        let mut c = DStoreConfig::small();
+        c.ssd_pages = 2;
+        assert!(c.validate().unwrap_err().contains("ssd_pages"));
+
+        let mut c = DStoreConfig::small();
+        c.pages_per_block = 0;
+        assert!(c.validate().unwrap_err().contains("pages_per_block"));
+
+        let mut c = DStoreConfig::small();
+        c.log_size = 1024;
+        assert!(c.validate().unwrap_err().contains("log_size"));
+
+        let mut c = DStoreConfig::small();
+        c.swap_threshold = 1.5;
+        assert!(c.validate().unwrap_err().contains("swap_threshold"));
+
+        let mut c = DStoreConfig::small();
+        c.ssd_pages = 64 * 1024 * 1024; // pool ring alone > shadow
+        assert!(c.validate().unwrap_err().contains("shadow_size"));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DStoreConfig::small()
+            .with_checkpoint(CheckpointMode::Cow)
+            .with_logging(LoggingMode::Physical)
+            .with_oe(false)
+            .with_auto_checkpoint(false);
+        assert_eq!(c.checkpoint, CheckpointMode::Cow);
+        assert_eq!(c.logging, LoggingMode::Physical);
+        assert!(!c.oe);
+        assert!(!c.auto_checkpoint);
+        assert!(c.strict_pmem);
+    }
+}

@@ -1,0 +1,713 @@
+//! The DStore operation context — the paper's Table 2 API.
+//!
+//! | Paper                      | Here                                    |
+//! |----------------------------|-----------------------------------------|
+//! | `ds_init` / `ds_finalize`  | [`DStore::context`] / drop              |
+//! | `oput` / `oget` / `odelete`| [`DsContext::put`] / [`DsContext::get`] / [`DsContext::delete`] |
+//! | `oopen` / `oclose`         | [`DsContext::open`] / drop              |
+//! | `oread` / `owrite`         | [`ObjectHandle::read`] / [`ObjectHandle::write`] |
+//! | `olock` / `ounlock`        | [`DsContext::lock`] / drop ([`DsLock`]) |
+//!
+//! Every mutating operation follows Figure 4's nine steps:
+//! ① lock the pools, ② allocate and write the log record, ③ allocate
+//! blocks, ④ allocate a metadata entry, ⑤ unlock, ⑥ write metadata,
+//! ⑦ update the B-tree, ⑧ write data to SSD, ⑨ commit and flush the log
+//! record. Steps ⑥–⑧ run outside the synchronous region — the
+//! observational-equivalence concurrency of §4.3/§4.4.
+
+use crate::config::LoggingMode;
+use crate::error::{DsError, DsResult};
+use crate::ops::{self, ExtendParams, PhysImage, PutParams};
+use crate::stats::WriteBreakdown;
+use crate::store::StoreInner;
+use crate::structures::{blocks_for_geometry, PutKind, PutPlan, MAX_NAME_LEN, PAGE_BYTES};
+use dstore_dipper::log::{AppendResult, LogFull};
+use dstore_dipper::OP_NOOP;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A per-thread handle for submitting operations (the paper's
+/// `ds_ctx_t`). Cheap to create; one per thread is the intended pattern.
+pub struct DsContext {
+    inner: Arc<StoreInner>,
+    /// NOOP (olock) records this context holds: its own writes must pass
+    /// its own locks instead of deadlocking on them.
+    held_locks: parking_lot::Mutex<Vec<(Vec<u8>, dstore_dipper::RecordHandle)>>,
+}
+
+/// Access mode for [`DsContext::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Read-only access to an existing object.
+    Read,
+    /// Read-write access to an existing object.
+    Write,
+    /// Create the object (preallocated to `size` bytes) if missing, then
+    /// read-write.
+    Create(u64),
+}
+
+impl DsContext {
+    pub(crate) fn new(inner: Arc<StoreInner>) -> Self {
+        Self {
+            inner,
+            held_locks: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether `h` is one of this context's own lock records.
+    fn is_own_lock(&self, name: &[u8], h: dstore_dipper::RecordHandle) -> bool {
+        self.held_locks
+            .lock()
+            .iter()
+            .any(|(n, held)| n == name && self.inner.log.same_record(*held, h))
+    }
+
+    fn check_name(name: &[u8]) -> DsResult<()> {
+        if name.len() > MAX_NAME_LEN {
+            return Err(DsError::NameTooLong(name.len()));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // key-value API
+
+    /// Stores `value` under `key` (the paper's `oput`), creating or
+    /// replacing the object. Durable on return.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> DsResult<()> {
+        self.put_timed(key, value, None)
+    }
+
+    /// [`DsContext::put`] with a Table 3 write-path breakdown.
+    pub fn put_instrumented(&self, key: &[u8], value: &[u8]) -> DsResult<WriteBreakdown> {
+        let mut bd = WriteBreakdown::default();
+        self.put_timed(key, value, Some(&mut bd))?;
+        Ok(bd)
+    }
+
+    fn put_timed(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        mut bd: Option<&mut WriteBreakdown>,
+    ) -> DsResult<()> {
+        Self::check_name(key)?;
+        let t_total = Instant::now();
+        let inner = &self.inner;
+        let size = value.len() as u64;
+
+        let (handle, lsn, plan) = self.mutate_plan(
+            key,
+            |d, log_mode| prepare_put_record(d, log_mode, key, size),
+            |d| d.plan_put(key, size),
+            &mut bd,
+        )?;
+
+        // Steps ⑥⑦: metadata entry + B-tree, outside the synchronous
+        // region (OE).
+        let t = Instant::now();
+        {
+            let _bt = inner.btree_lock.write();
+            inner.domain().install_put(key, size, &plan, lsn);
+        }
+        let install_ns = t.elapsed().as_nanos() as u64;
+
+        // Step ⑧: data to SSD.
+        let t = Instant::now();
+        self.write_blocks(&plan.blocks, value);
+        let nvme_ns = t.elapsed().as_nanos() as u64;
+
+        // The object's mutation is complete (data durable at step ⑧):
+        // release the writer mark *before* committing the record. A
+        // competing writer passes the conflict scan only once the record
+        // commits, so the registration windows of two writers can never
+        // overlap — in the other order they briefly could.
+        inner.writers.unregister(key);
+
+        // Step ⑨: commit.
+        let t = Instant::now();
+        inner.log.commit(handle);
+        let commit_ns = t.elapsed().as_nanos() as u64;
+
+        inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+        inner.maybe_checkpoint();
+        if let Some(bd) = bd {
+            bd.nvme_ns = nvme_ns;
+            bd.btree_ns += install_ns / 2;
+            bd.metadata_ns += install_ns - install_ns / 2;
+            bd.log_flush_ns += commit_ns;
+            bd.total_ns = t_total.elapsed().as_nanos() as u64;
+        }
+        Ok(())
+    }
+
+    /// Fetches the object stored under `key` (the paper's `oget`).
+    pub fn get(&self, key: &[u8]) -> DsResult<Vec<u8>> {
+        Self::check_name(key)?;
+        let inner = &self.inner;
+        let _drain = inner.drain.read();
+        loop {
+            // Read-write CC (§4.4): register as a reader, then back off if
+            // a writer is mutating this object.
+            let _guard = inner.readers.begin_read(key);
+            if inner.writers.contains(key) {
+                drop(_guard);
+                inner.stats.rw_backoffs.fetch_add(1, Ordering::Relaxed);
+                inner.writers.wait_clear(key);
+                continue;
+            }
+            let (size, blocks) = {
+                let _bt = inner.btree_lock.read();
+                let d = inner.domain();
+                let e = d.lookup(key).ok_or(DsError::NotFound)?;
+                let (size, _, blocks) = d.read_entry(e);
+                (size, blocks)
+            };
+            let mut out = vec![0u8; size as usize];
+            self.read_blocks(&blocks, &mut out);
+            inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+            return Ok(out);
+        }
+    }
+
+    /// Removes the object under `key` (the paper's `odelete`).
+    pub fn delete(&self, key: &[u8]) -> DsResult<()> {
+        Self::check_name(key)?;
+        let inner = &self.inner;
+        let (handle, _lsn, _plan) = self.mutate_plan(
+            key,
+            |d, log_mode| match log_mode {
+                LoggingMode::Logical => (ops::OP_DELETE, vec![]),
+                LoggingMode::Physical => {
+                    let pushes = d
+                        .lookup(key)
+                        .map(|e| d.read_entry(e).2)
+                        .unwrap_or_default();
+                    (
+                        ops::OP_PHYS_DELETE,
+                        PhysImage {
+                            size: 0,
+                            blocks: vec![],
+                            pops: 0,
+                            pushes,
+                        }
+                        .encode(),
+                    )
+                }
+            },
+            |d| {
+                d.plan_delete(key).map(|p| PutPlan {
+                    kind: PutKind::Replace,
+                    blocks: vec![],
+                    freed: p.freed,
+                })
+            },
+            &mut None,
+        )?;
+        {
+            let _bt = inner.btree_lock.write();
+            inner.domain().install_delete(key);
+        }
+        // Unregister before commit (see put_timed).
+        inner.writers.unregister(key);
+        inner.log.commit(handle);
+        inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        inner.maybe_checkpoint();
+        Ok(())
+    }
+
+    /// Whether `key` exists.
+    pub fn exists(&self, key: &[u8]) -> bool {
+        let _bt = self.inner.btree_lock.read();
+        self.inner.domain().lookup(key).is_some()
+    }
+
+    /// Size of the object under `key`.
+    pub fn size_of(&self, key: &[u8]) -> DsResult<u64> {
+        Ok(self.stat(key)?.size)
+    }
+
+    /// Metadata snapshot of the object under `key`.
+    pub fn stat(&self, key: &[u8]) -> DsResult<ObjectStat> {
+        Self::check_name(key)?;
+        let _bt = self.inner.btree_lock.read();
+        let d = self.inner.domain();
+        let e = d.lookup(key).ok_or(DsError::NotFound)?;
+        // SAFETY: entry live; short read under the index lock (field reads
+        // race only with same-object writers, which CC excludes for
+        // correctness-critical paths; stat is advisory).
+        let (size, version, blocks) = d.read_entry(e);
+        let mtime_lsn = unsafe { (*d.arena().resolve(e)).mtime_lsn };
+        Ok(ObjectStat {
+            size,
+            version,
+            blocks: blocks.len() as u64,
+            mtime_lsn,
+        })
+    }
+
+    /// All object names, ascending.
+    pub fn list(&self) -> Vec<Vec<u8>> {
+        let _bt = self.inner.btree_lock.read();
+        let mut out = vec![];
+        self.inner.domain().btree().for_each(|k, _| out.push(k.to_vec()));
+        out
+    }
+
+    /// Object names starting with `prefix`, ascending — bucket-style
+    /// listing over the B-tree index (touches only O(log n + matches)
+    /// nodes).
+    pub fn list_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        let _bt = self.inner.btree_lock.read();
+        let mut out = vec![];
+        self.inner
+            .domain()
+            .btree()
+            .for_each_prefix(prefix, |k, _| out.push(k.to_vec()));
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // filesystem-style API
+
+    /// Opens an object (the paper's `oopen`).
+    pub fn open(&self, name: &[u8], mode: OpenMode) -> DsResult<ObjectHandle<'_>> {
+        Self::check_name(name)?;
+        match mode {
+            OpenMode::Read | OpenMode::Write => {
+                if !self.exists(name) {
+                    return Err(DsError::NotFound);
+                }
+            }
+            OpenMode::Create(size) => {
+                if !self.exists(name) {
+                    // Preallocate: a put without data ("log records for
+                    // oopen … only written if they modify any metadata").
+                    let inner = &self.inner;
+                    let (handle, lsn, plan) = self.mutate_plan(
+                        name,
+                        |d, log_mode| match log_mode {
+                            LoggingMode::Logical => {
+                                (ops::OP_CREATE, PutParams { size }.encode().to_vec())
+                            }
+                            LoggingMode::Physical => prepare_put_record(d, log_mode, name, size),
+                        },
+                        |d| d.plan_put(name, size),
+                        &mut None,
+                    )?;
+                    {
+                        let _bt = inner.btree_lock.write();
+                        inner.domain().install_put(name, size, &plan, lsn);
+                    }
+                    inner.writers.unregister(name);
+                    inner.log.commit(handle);
+                    inner.maybe_checkpoint();
+                }
+            }
+        }
+        Ok(ObjectHandle {
+            ctx: self,
+            name: name.to_vec(),
+            writable: !matches!(mode, OpenMode::Read),
+        })
+    }
+
+    /// Acquires an advisory inter-object lock (the paper's `olock`),
+    /// implemented as a NOOP log record that conflicts with every
+    /// operation on `name` (§4.5). Released on drop (`ounlock` marks the
+    /// record committed).
+    pub fn lock(&self, name: &[u8]) -> DsResult<DsLock<'_>> {
+        Self::check_name(name)?;
+        let inner = &self.inner;
+        loop {
+            let _drain = inner.drain.read();
+            let r = {
+                let _g = inner.pool_lock.lock();
+                match inner.log.try_append(OP_NOOP, name, &[]) {
+                    Ok(r) => r,
+                    Err(LogFull) => {
+                        drop(_g);
+                        drop(_drain);
+                        inner.handle_log_full();
+                        continue;
+                    }
+                }
+            };
+            let conflicts: Vec<_> = r
+                .conflicts
+                .iter()
+                .filter(|c| !self.is_own_lock(name, **c))
+                .copied()
+                .collect();
+            if conflicts.is_empty() {
+                self.held_locks.lock().push((name.to_vec(), r.handle));
+                return Ok(DsLock {
+                    ctx: self,
+                    name: name.to_vec(),
+                    handle: r.handle,
+                });
+            }
+            inner.log.abort(r.handle);
+            inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
+            drop(_drain);
+            for c in &conflicts {
+                inner.log.wait_committed(*c);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // the shared mutation prologue: Figure 4 steps ① – ⑤ plus CC
+
+    /// Runs the synchronous region for a mutating op: appends the record
+    /// (with write-write conflict detection and abort-retry), executes
+    /// the pool plan in log order, and registers as the object's writer.
+    /// On return the caller holds the object exclusively (no in-flight
+    /// writers, no readers) and must eventually `commit` + `unregister`.
+    fn mutate_plan<P>(
+        &self,
+        name: &[u8],
+        encode: impl Fn(&crate::structures::Domain<'_, dstore_arena::DramMemory>, LoggingMode) -> (u16, Vec<u8>),
+        plan: impl Fn(&crate::structures::Domain<'_, dstore_arena::DramMemory>) -> DsResult<P>,
+        bd: &mut Option<&mut WriteBreakdown>,
+    ) -> DsResult<(dstore_dipper::RecordHandle, u64, P)> {
+        let inner = &self.inner;
+        loop {
+            let _drain = inner.drain.read();
+            let _global = (!inner.cfg.oe).then(|| inner.global_lock.lock());
+            let t_log = Instant::now();
+            type Appended<P> = (AppendResult, Vec<dstore_dipper::RecordHandle>, Option<DsResult<P>>);
+            let appended: Result<Appended<P>, LogFull> = {
+                // Step ①: lock the pools.
+                let _g = inner.pool_lock.lock();
+                let d = inner.domain();
+                let (op, params) = {
+                    let _bt = inner.btree_lock.read();
+                    encode(&d, inner.cfg.logging)
+                };
+                // Step ②: allocate and write the log record.
+                match inner.log.try_append(op, name, &params) {
+                    Err(LogFull) => Err(LogFull),
+                    Ok(r) => {
+                        // The holder of an olock on this object passes
+                        // its own lock record.
+                        let conflicts: Vec<_> = r
+                            .conflicts
+                            .iter()
+                            .filter(|c| !self.is_own_lock(name, **c))
+                            .copied()
+                            .collect();
+                        if conflicts.is_empty() {
+                            // Steps ③/④: pool allocations, in log order.
+                            let p = {
+                                let _bt = inner.btree_lock.read();
+                                plan(&d)
+                            };
+                            if p.is_ok() {
+                                // Make the writer visible before leaving
+                                // the synchronous region.
+                                inner.writers.register(name);
+                            }
+                            Ok((r, conflicts, Some(p)))
+                        } else {
+                            Ok((r, conflicts, None))
+                        }
+                    }
+                }
+                // Step ⑤: unlock (scope end).
+            };
+            match appended {
+                Err(LogFull) => {
+                    drop(_global);
+                    drop(_drain);
+                    inner.handle_log_full();
+                    continue;
+                }
+                Ok((r, conflicts, plan_result)) => {
+                    if !conflicts.is_empty() {
+                        // Another in-flight op owns this object: abort our
+                        // record (it must have no replay effects) and spin
+                        // on the conflicting commit flags (§4.4).
+                        inner.log.abort(r.handle);
+                        inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
+                        drop(_global);
+                        drop(_drain);
+                        for c in &conflicts {
+                            inner.log.wait_committed(*c);
+                        }
+                        continue;
+                    }
+                    let p = match plan_result.expect("planned when conflict-free") {
+                        Ok(p) => p,
+                        Err(e) => {
+                            // Plan failed (e.g. out of space): the record
+                            // must not replay.
+                            inner.log.abort(r.handle);
+                            return Err(e);
+                        }
+                    };
+                    if let Some(bd) = bd.as_deref_mut() {
+                        // The synchronous region ≈ log write + flush +
+                        // pool allocation; attribute it to the log-flush
+                        // and metadata columns.
+                        let ns = t_log.elapsed().as_nanos() as u64;
+                        bd.log_flush_ns += ns / 2;
+                        bd.metadata_ns += ns - ns / 2;
+                    }
+                    // Read-write CC: drain current readers (new ones back
+                    // off because we are registered).
+                    inner.readers.wait_for_readers(name);
+                    // CoW checkpoints: wait for / assist the page copy
+                    // before mutating any frontend page.
+                    if let Some(cow) = &inner.cow {
+                        cow.wait_or_assist();
+                    }
+                    return Ok((r.handle, r.lsn, p));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // data plane
+
+    /// Writes `data` across allocation `blocks`, coalescing contiguous
+    /// block runs into single device commands. Pages beyond the data
+    /// (pure preallocation) are left untouched.
+    fn write_blocks(&self, blocks: &[u64], data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let ssd = &self.inner.ssd;
+        let d = self.inner.domain();
+        let bs = d.block_bytes() as usize;
+        let page = PAGE_BYTES as usize;
+        let data_blocks = data.len().div_ceil(bs);
+        let blocks = &blocks[..data_blocks.min(blocks.len())];
+        let mut i = 0;
+        while i < blocks.len() {
+            // Contiguous block ids own contiguous page ranges.
+            let mut j = i + 1;
+            while j < blocks.len() && blocks[j] == blocks[j - 1] + 1 {
+                j += 1;
+            }
+            let start_byte = i * bs;
+            let data_end = data.len().min(j * bs);
+            let pages = (data_end - start_byte).div_ceil(page);
+            let mut chunk = vec![0u8; pages * page];
+            chunk[..data_end - start_byte].copy_from_slice(&data[start_byte..data_end]);
+            ssd.write_pages(d.block_first_page(blocks[i]), &chunk);
+            i = j;
+        }
+    }
+
+    /// Reads `out.len()` bytes from allocation `blocks`.
+    fn read_blocks(&self, blocks: &[u64], out: &mut [u8]) {
+        let ssd = &self.inner.ssd;
+        let d = self.inner.domain();
+        let bs = d.block_bytes() as usize;
+        let page = PAGE_BYTES as usize;
+        for (i, &b) in blocks.iter().enumerate() {
+            let start = i * bs;
+            if start >= out.len() {
+                break;
+            }
+            let n = (out.len() - start).min(bs);
+            let pages = n.div_ceil(page);
+            let mut buf = vec![0u8; pages * page];
+            ssd.read_pages(d.block_first_page(b), &mut buf);
+            out[start..start + n].copy_from_slice(&buf[..n]);
+        }
+    }
+}
+
+/// Point-in-time object metadata (the paper's metadata-zone entry, as an
+/// API surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStat {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Mutation count (bumped by every metadata-changing operation).
+    pub version: u32,
+    /// Allocation blocks backing the object.
+    pub blocks: u64,
+    /// LSN of the last mutating log record — a logical mtime that is
+    /// comparable across objects and survives recovery.
+    pub mtime_lsn: u64,
+}
+
+/// Builds a put's record `(op, params)` for the configured logging mode.
+/// Read-only against the domain (physical mode *peeks* the pool: the
+/// actual pops happen after the conflict check and return the same ids,
+/// all under the pool lock).
+fn prepare_put_record(
+    d: &crate::structures::Domain<'_, dstore_arena::DramMemory>,
+    mode: LoggingMode,
+    key: &[u8],
+    size: u64,
+) -> (u16, Vec<u8>) {
+    let old = d.lookup(key).map(|e| d.read_entry(e).2);
+    let need = blocks_for_geometry(size, d.block_bytes());
+    let touch = old.as_ref().map(|b| b.len() as u64 == need).unwrap_or(false);
+    match mode {
+        LoggingMode::Logical => (
+            if touch { ops::OP_TOUCH } else { ops::OP_PUT },
+            PutParams { size }.encode().to_vec(),
+        ),
+        LoggingMode::Physical => {
+            let (pops, blocks, pushes) = if touch {
+                (0, old.unwrap(), vec![])
+            } else {
+                // If the pool cannot satisfy the peek, encode an empty
+                // image: the plan will fail with OutOfSpace and the
+                // record is aborted, never replayed.
+                let peeked = d.pool_peek(need).unwrap_or_default();
+                (need as u32, peeked, old.unwrap_or_default())
+            };
+            (
+                ops::OP_PHYS_INSTALL,
+                PhysImage {
+                    size,
+                    blocks,
+                    pops,
+                    pushes,
+                }
+                .encode(),
+            )
+        }
+    }
+}
+
+/// An open object — the paper's `OBJECT*` with `oread`/`owrite`.
+pub struct ObjectHandle<'a> {
+    ctx: &'a DsContext,
+    name: Vec<u8>,
+    writable: bool,
+}
+
+impl ObjectHandle<'_> {
+    /// The object's name.
+    pub fn name(&self) -> &[u8] {
+        &self.name
+    }
+
+    /// Current object size.
+    pub fn size(&self) -> DsResult<u64> {
+        self.ctx.size_of(&self.name)
+    }
+
+    /// Partial read at `offset` (the paper's `oread`). Returns bytes
+    /// read (clamped at the object end).
+    pub fn read(&self, buf: &mut [u8], offset: u64) -> DsResult<usize> {
+        let inner = &self.ctx.inner;
+        let _drain = inner.drain.read();
+        loop {
+            let _guard = inner.readers.begin_read(&self.name);
+            if inner.writers.contains(&self.name) {
+                drop(_guard);
+                inner.stats.rw_backoffs.fetch_add(1, Ordering::Relaxed);
+                inner.writers.wait_clear(&self.name);
+                continue;
+            }
+            let (size, blocks) = {
+                let _bt = inner.btree_lock.read();
+                let d = inner.domain();
+                let e = d.lookup(&self.name).ok_or(DsError::NotFound)?;
+                let (size, _, blocks) = d.read_entry(e);
+                (size, blocks)
+            };
+            if offset >= size {
+                return Ok(0);
+            }
+            let d = inner.domain();
+            let bs = d.block_bytes() as usize;
+            let page_sz = PAGE_BYTES as usize;
+            let n = (buf.len() as u64).min(size - offset) as usize;
+            let mut page = vec![0u8; page_sz];
+            let mut done = 0;
+            while done < n {
+                let pos = offset as usize + done;
+                let bi = pos / bs;
+                let page_in_block = (pos % bs) / page_sz;
+                let in_page = pos % page_sz;
+                let take = (n - done).min(page_sz - in_page);
+                inner
+                    .ssd
+                    .read_pages(d.block_first_page(blocks[bi]) + page_in_block as u64, &mut page);
+                buf[done..done + take].copy_from_slice(&page[in_page..in_page + take]);
+                done += take;
+            }
+            inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+            return Ok(n);
+        }
+    }
+
+    /// Partial write at `offset` (the paper's `owrite`), extending the
+    /// object if needed. Durable on return.
+    pub fn write(&self, data: &[u8], offset: u64) -> DsResult<usize> {
+        if !self.writable {
+            return Err(DsError::BadMode);
+        }
+        let inner = &self.ctx.inner;
+        let len = data.len() as u64;
+        let (handle, lsn, plan) = self.ctx.mutate_plan(
+            &self.name,
+            |_d, _mode| (ops::OP_EXTEND, ExtendParams { offset, len }.encode().to_vec()),
+            |d| d.plan_extend(&self.name, offset, len),
+            &mut None,
+        )?;
+        {
+            let _bt = inner.btree_lock.write();
+            inner.domain().install_extend(&self.name, &plan, lsn);
+        }
+        // Data: sub-page head/tail via partial writes, whole pages via
+        // page writes.
+        let d = inner.domain();
+        let bs = d.block_bytes() as usize;
+        let page_sz = PAGE_BYTES as usize;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset as usize + done;
+            let bi = pos / bs;
+            let page_id = d.block_first_page(plan.blocks[bi]) + ((pos % bs) / page_sz) as u64;
+            let in_page = pos % page_sz;
+            let take = (data.len() - done).min(page_sz - in_page);
+            if in_page == 0 && take == page_sz {
+                inner.ssd.write_pages(page_id, &data[done..done + page_sz]);
+            } else {
+                inner.ssd.write_partial(page_id, in_page, &data[done..done + take]);
+            }
+            done += take;
+        }
+        inner.writers.unregister(&self.name);
+        inner.log.commit(handle);
+        inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        inner.maybe_checkpoint();
+        Ok(data.len())
+    }
+}
+
+/// An advisory object lock (the paper's `olock`/`ounlock`): while held,
+/// every write to the object (and any other `lock`) by *other* contexts
+/// waits; the holding context's own operations pass through.
+pub struct DsLock<'a> {
+    ctx: &'a DsContext,
+    name: Vec<u8>,
+    handle: dstore_dipper::RecordHandle,
+}
+
+impl Drop for DsLock<'_> {
+    fn drop(&mut self) {
+        // `ounlock marks this record as committed` (§4.5).
+        self.ctx.inner.log.commit(self.handle);
+        let mut held = self.ctx.held_locks.lock();
+        if let Some(i) = held
+            .iter()
+            .position(|(n, h)| n == &self.name && *h == self.handle)
+        {
+            held.swap_remove(i);
+        }
+    }
+}

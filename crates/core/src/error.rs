@@ -1,0 +1,75 @@
+//! Error type for DStore operations.
+
+use std::fmt;
+
+/// Errors surfaced by the DStore API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsError {
+    /// The named object does not exist.
+    NotFound,
+    /// The SSD block pool is exhausted.
+    OutOfSpace,
+    /// The PMEM pool cannot hold the metadata (arena exhausted).
+    OutOfMetadataSpace,
+    /// A read/write range exceeds the object size (filesystem API).
+    OutOfRange {
+        /// Requested end offset.
+        requested: u64,
+        /// Actual object size.
+        size: u64,
+    },
+    /// Object name longer than [`crate::structures::MAX_NAME_LEN`].
+    NameTooLong(usize),
+    /// The PMEM pool does not contain a recognizable store.
+    NotFormatted,
+    /// The object was opened without the required access mode.
+    BadMode,
+    /// Underlying device error (file-backed pools).
+    Io(String),
+}
+
+impl fmt::Display for DsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsError::NotFound => write!(f, "object not found"),
+            DsError::OutOfSpace => write!(f, "SSD block pool exhausted"),
+            DsError::OutOfMetadataSpace => write!(f, "PMEM metadata space exhausted"),
+            DsError::OutOfRange { requested, size } => {
+                write!(f, "access beyond object end: {requested} > {size}")
+            }
+            DsError::NameTooLong(n) => write!(f, "object name too long: {n} bytes"),
+            DsError::NotFormatted => write!(f, "pool does not contain a DStore instance"),
+            DsError::BadMode => write!(f, "object not opened for this access"),
+            DsError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {}
+
+impl From<std::io::Error> for DsError {
+    fn from(e: std::io::Error) -> Self {
+        DsError::Io(e.to_string())
+    }
+}
+
+/// Result alias for DStore operations.
+pub type DsResult<T> = Result<T, DsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DsError::NotFound.to_string().contains("not found"));
+        assert!(DsError::OutOfRange {
+            requested: 10,
+            size: 4
+        }
+        .to_string()
+        .contains("10 > 4"));
+        let io: DsError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

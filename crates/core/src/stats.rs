@@ -1,0 +1,164 @@
+//! Store-level statistics: operation counters, the Table 3 write-path
+//! breakdown, and the Figure 10 storage footprint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative operation counters.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Completed put/create operations.
+    pub puts: AtomicU64,
+    /// Completed get operations.
+    pub gets: AtomicU64,
+    /// Completed deletes.
+    pub deletes: AtomicU64,
+    /// Completed partial writes (`owrite`).
+    pub writes: AtomicU64,
+    /// Completed partial reads (`oread`).
+    pub reads: AtomicU64,
+    /// Operations that had to retry due to a write-write conflict.
+    pub ww_conflicts: AtomicU64,
+    /// Reader back-offs due to an in-flight writer.
+    pub rw_backoffs: AtomicU64,
+    /// Appends that hit a full log and waited for a checkpoint.
+    pub log_full_stalls: AtomicU64,
+}
+
+impl StoreStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total completed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+            + self.gets.load(Ordering::Relaxed)
+            + self.deletes.load(Ordering::Relaxed)
+            + self.writes.load(Ordering::Relaxed)
+            + self.reads.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-write time breakdown — the rows of the paper's Table 3.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WriteBreakdown {
+    /// Time in the NVMe data write.
+    pub nvme_ns: u64,
+    /// Time updating the B-tree.
+    pub btree_ns: u64,
+    /// Time allocating blocks and updating the metadata entry.
+    pub metadata_ns: u64,
+    /// Time writing + flushing + committing the log record.
+    pub log_flush_ns: u64,
+    /// End-to-end request time.
+    pub total_ns: u64,
+}
+
+impl WriteBreakdown {
+    /// Component sum (excludes untracked glue).
+    pub fn accounted_ns(&self) -> u64 {
+        self.nvme_ns + self.btree_ns + self.metadata_ns + self.log_flush_ns
+    }
+
+    /// Accumulates another breakdown (for averaging).
+    pub fn add(&mut self, other: &WriteBreakdown) {
+        self.nvme_ns += other.nvme_ns;
+        self.btree_ns += other.btree_ns;
+        self.metadata_ns += other.metadata_ns;
+        self.log_flush_ns += other.log_flush_ns;
+        self.total_ns += other.total_ns;
+    }
+
+    /// Divides all components by `n` (averaging).
+    pub fn scaled(&self, n: u64) -> WriteBreakdown {
+        let n = n.max(1);
+        WriteBreakdown {
+            nvme_ns: self.nvme_ns / n,
+            btree_ns: self.btree_ns / n,
+            metadata_ns: self.metadata_ns / n,
+            log_flush_ns: self.log_flush_ns / n,
+            total_ns: self.total_ns / n,
+        }
+    }
+}
+
+/// Storage consumed across the three tiers (Figure 10). "We define space
+/// amplification as the ratio of size of application data to the size of
+/// space utilized by the storage system across DRAM, PMEM, and SSD."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// DRAM bytes in use (system-space arena high water).
+    pub dram_bytes: u64,
+    /// PMEM bytes in use (root + both logs + both shadow regions' high
+    /// water).
+    pub pmem_bytes: u64,
+    /// SSD bytes in use (allocated blocks + superblock).
+    pub ssd_bytes: u64,
+    /// Logical application data bytes.
+    pub logical_bytes: u64,
+}
+
+impl Footprint {
+    /// Total physical bytes.
+    pub fn total(&self) -> u64 {
+        self.dram_bytes + self.pmem_bytes + self.ssd_bytes
+    }
+
+    /// Space amplification = physical / logical.
+    pub fn amplification(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 0.0;
+        }
+        self.total() as f64 / self.logical_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_math() {
+        let mut acc = WriteBreakdown::default();
+        let one = WriteBreakdown {
+            nvme_ns: 8900,
+            btree_ns: 300,
+            metadata_ns: 290,
+            log_flush_ns: 615,
+            total_ns: 10106,
+        };
+        acc.add(&one);
+        acc.add(&one);
+        let avg = acc.scaled(2);
+        assert_eq!(avg, one);
+        assert_eq!(one.accounted_ns(), 8900 + 300 + 290 + 615);
+    }
+
+    #[test]
+    fn footprint_amplification() {
+        let f = Footprint {
+            dram_bytes: 100,
+            pmem_bytes: 200,
+            ssd_bytes: 700,
+            logical_bytes: 500,
+        };
+        assert_eq!(f.total(), 1000);
+        assert!((f.amplification() - 2.0).abs() < 1e-9);
+        let empty = Footprint {
+            dram_bytes: 0,
+            pmem_bytes: 0,
+            ssd_bytes: 0,
+            logical_bytes: 0,
+        };
+        assert_eq!(empty.amplification(), 0.0);
+    }
+
+    #[test]
+    fn stats_total() {
+        let s = StoreStats::new();
+        s.puts.fetch_add(3, Ordering::Relaxed);
+        s.gets.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(s.total_ops(), 7);
+    }
+}

@@ -1,0 +1,579 @@
+//! The store: device setup, checkpoint wiring, crash and recovery.
+
+use crate::cc::InflightWriters;
+use crate::config::{CheckpointMode, DStoreConfig};
+use crate::cow::CowCheckpointer;
+use crate::ctx::DsContext;
+use crate::error::{DsError, DsResult};
+use crate::stats::{Footprint, StoreStats};
+use crate::structures::{Directory, Domain};
+use dstore_arena::{Arena, DramMemory, PmemRange, RelPtr};
+use dstore_dipper::checkpoint::{apply_checkpoint, Applier, CheckpointStats};
+use dstore_dipper::layout::{LOG_HEADER_SIZE, ROOT_SIZE};
+use dstore_dipper::{recover_scan, Checkpointer, DipperConfig, OpLog, PmemLayout, Root};
+use dstore_index::ReadCounts;
+use dstore_pmem::{PersistenceMode, PmemPool, PoolBuilder};
+use dstore_ssd::SsdDevice;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// SSD superblock magic ("DSTORESB").
+const SB_MAGIC: u64 = 0x4453_544f_5245_5342;
+
+/// What recovery did and how long it took — the rows of Table 4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Whether an interrupted checkpoint was redone.
+    pub redo_checkpoint: bool,
+    /// Records replayed during the checkpoint redo.
+    pub redo_records: usize,
+    /// Committed active-log records replayed onto the DRAM structures.
+    pub replayed_records: usize,
+    /// Time reconstructing metadata (checkpoint redo + PMEM→DRAM copy).
+    pub metadata_ns: u64,
+    /// Time replaying active-log records.
+    pub replay_ns: u64,
+}
+
+impl RecoveryReport {
+    /// Total recovery time.
+    pub fn total_ns(&self) -> u64 {
+        self.metadata_ns + self.replay_ns
+    }
+}
+
+/// The devices of a crashed store, ready for [`DStore::recover`].
+pub struct CrashImage {
+    pub(crate) pool: Arc<PmemPool>,
+    pub(crate) ssd: Arc<SsdDevice>,
+    pub(crate) cfg: DStoreConfig,
+}
+
+impl CrashImage {
+    /// Swaps the configuration used for recovery (failure-injection
+    /// tests: recovering with mismatched sizes must be rejected).
+    pub fn reconfigure(image: CrashImage, cfg: DStoreConfig) -> CrashImage {
+        CrashImage {
+            pool: image.pool,
+            ssd: image.ssd,
+            cfg,
+        }
+    }
+
+    /// Builds an image from explicitly opened devices — how a real restart
+    /// reopens file-backed pools before [`DStore::recover`].
+    pub fn from_devices(
+        pool: Arc<PmemPool>,
+        ssd: Arc<SsdDevice>,
+        cfg: DStoreConfig,
+    ) -> CrashImage {
+        CrashImage { pool, ssd, cfg }
+    }
+
+    /// The crashed PMEM device (failure-injection tests corrupt regions
+    /// through this before recovering).
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// The crashed SSD device.
+    pub fn ssd(&self) -> &Arc<SsdDevice> {
+        &self.ssd
+    }
+}
+
+pub(crate) struct StoreInner {
+    pub cfg: DStoreConfig,
+    pub layout: PmemLayout,
+    pub pool: Arc<PmemPool>,
+    pub ssd: Arc<SsdDevice>,
+    pub root: Arc<Root>,
+    pub log: Arc<OpLog>,
+    pub dram: Arc<Arena<DramMemory>>,
+    pub dir: RelPtr<Directory>,
+    /// Serializes log append + block-pool interaction (Figure 4 steps
+    /// ①–⑤). Log order and pool order coincide because both happen under
+    /// this lock — the invariant deterministic replay depends on.
+    pub pool_lock: Mutex<()>,
+    /// Protects the object-index B-tree (step ⑦ and lookups).
+    pub btree_lock: RwLock<()>,
+    /// Full-operation serialization for `oe = false` (Figure 9 "-OE").
+    pub global_lock: Mutex<()>,
+    /// Read-write CC: per-object read counts (§4.4).
+    pub readers: ReadCounts,
+    /// Read-write CC: objects with an in-flight writer.
+    pub writers: InflightWriters,
+    /// Held `read` by every op; held `write` by the CoW trigger.
+    pub drain: Arc<RwLock<()>>,
+    pub ckpt: Mutex<Option<Checkpointer>>,
+    pub cow: Option<CowCheckpointer>,
+    pub stats: StoreStats,
+    pub recovery: RecoveryReport,
+}
+
+impl StoreInner {
+    /// The frontend (DRAM) domain.
+    pub fn domain(&self) -> Domain<'_, DramMemory> {
+        Domain::attach(&self.dram, self.dir)
+    }
+
+    /// Triggers a checkpoint if the active log crossed the threshold and
+    /// automatic checkpointing is on.
+    pub fn maybe_checkpoint(&self) {
+        if !self.cfg.auto_checkpoint {
+            return;
+        }
+        if self.log.used_fraction() < self.cfg.swap_threshold {
+            return;
+        }
+        match self.cfg.checkpoint {
+            CheckpointMode::Dipper => {
+                if let Some(c) = self.ckpt.lock().as_ref() {
+                    c.try_begin();
+                }
+            }
+            CheckpointMode::Cow => {
+                if let Some(c) = &self.cow {
+                    // The CoW trigger takes the drain write lock; callers
+                    // of maybe_checkpoint on the op path hold the read
+                    // lock, so hand the trigger to a helper thread.
+                    if !c.is_busy() {
+                        let _ = c.try_begin_from_op_path();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a full log: force a checkpoint (blocking if one is already
+    /// running) so the append can retry — the backpressure path.
+    pub fn handle_log_full(&self) {
+        self.stats
+            .log_full_stalls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.cfg.checkpoint {
+            CheckpointMode::Dipper => {
+                if let Some(c) = self.ckpt.lock().as_ref() {
+                    c.begin_blocking();
+                }
+            }
+            CheckpointMode::Cow => {
+                if let Some(c) = &self.cow {
+                    c.begin_blocking_from_op_path();
+                }
+            }
+        }
+    }
+}
+
+/// The DStore handle. Clone-free: obtain per-thread [`DsContext`]s via
+/// [`DStore::context`] (the paper's `ds_init`).
+pub struct DStore {
+    pub(crate) inner: Arc<StoreInner>,
+}
+
+/// Builds the DIPPER applier: replays committed records onto the given
+/// shadow region using the same [`Domain`] code the frontend runs.
+fn make_applier(pool: &Arc<PmemPool>, layout: PmemLayout, dir: RelPtr<Directory>) -> Applier {
+    let pool = Arc::clone(pool);
+    Arc::new(move |shadow_idx: usize, records| {
+        let arena = Arena::attach(PmemRange::new(
+            Arc::clone(&pool),
+            layout.shadow[shadow_idx],
+            layout.shadow_size,
+        ))
+        .expect("shadow region holds a valid arena");
+        let domain = Domain::attach(&arena, dir);
+        // Serial replay in log (conflict) order: block-pool pops must
+        // follow the exact frontend sequence (see `structures`). The
+        // install phases could be OE-parallelized across objects; replay
+        // is far from the bottleneck (it skips the NVMe writes entirely).
+        for r in records {
+            domain.replay(r);
+        }
+    })
+}
+
+fn dipper_cfg(cfg: &DStoreConfig) -> DipperConfig {
+    DipperConfig {
+        log_size: cfg.log_size,
+        shadow_size: cfg.shadow_size,
+        swap_threshold: cfg.swap_threshold,
+    }
+}
+
+impl DStore {
+    /// Creates a fresh store on fresh (or truncated) devices.
+    pub fn create(cfg: DStoreConfig) -> DsResult<Self> {
+        cfg.validate().map_err(DsError::Io)?;
+        let layout = PmemLayout::new(&dipper_cfg(&cfg));
+        let mut pb = PoolBuilder::new(layout.total)
+            .mode(if cfg.strict_pmem {
+                PersistenceMode::Strict
+            } else {
+                PersistenceMode::Fast
+            })
+            .latency(cfg.pmem_latency.clone());
+        if let Some(f) = &cfg.pmem_file {
+            pb = pb.dax_file(f);
+        }
+        let pool = Arc::new(pb.build()?);
+        let ssd = Arc::new(match &cfg.ssd_file {
+            Some(f) => SsdDevice::file_backed(f, cfg.ssd_pages)?.with_latency(cfg.ssd_latency.clone()),
+            None => SsdDevice::anon(cfg.ssd_pages).with_latency(cfg.ssd_latency.clone()),
+        });
+        // Superblock: "The first block is reserved for the superblock,
+        // which contains relevant recovery information" (§4.2).
+        let mut sb = vec![0u8; dstore_ssd::PAGE_SIZE];
+        sb[..8].copy_from_slice(&SB_MAGIC.to_le_bytes());
+        sb[8..16].copy_from_slice(&cfg.ssd_pages.to_le_bytes());
+        ssd.write_pages(0, &sb);
+
+        let root = Arc::new(Root::format(
+            Arc::clone(&pool),
+            layout.log_size as u64,
+            layout.shadow_size as u64,
+        ));
+        let log = Arc::new(OpLog::create(Arc::clone(&pool), layout));
+
+        // System space: format the DRAM domain, then seed shadow region 0
+        // with an identical image so the first checkpoint has a base.
+        let dram = Arc::new(Arena::create(DramMemory::new(layout.shadow_size)));
+        let domain = Domain::format_with_geometry(&dram, cfg.ssd_pages, cfg.pages_per_block);
+        let dir = domain.dir_ptr();
+        let shadow0 = Arena::create(PmemRange::new(
+            Arc::clone(&pool),
+            layout.shadow[0],
+            layout.shadow_size,
+        ));
+        dram.copy_allocated_to(&shadow0);
+        shadow0.persist_allocated();
+        root.set_app_dir(dir.offset());
+
+        Ok(Self {
+            inner: Self::assemble(cfg, layout, pool, ssd, root, log, dram, dir, RecoveryReport::default()),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        cfg: DStoreConfig,
+        layout: PmemLayout,
+        pool: Arc<PmemPool>,
+        ssd: Arc<SsdDevice>,
+        root: Arc<Root>,
+        log: Arc<OpLog>,
+        dram: Arc<Arena<DramMemory>>,
+        dir: RelPtr<Directory>,
+        recovery: RecoveryReport,
+    ) -> Arc<StoreInner> {
+        let drain = Arc::new(RwLock::new(()));
+        let (ckpt, cow) = match cfg.checkpoint {
+            CheckpointMode::Dipper => {
+                let applier = make_applier(&pool, layout, dir);
+                (
+                    Some(Checkpointer::new(
+                        Arc::clone(&pool),
+                        layout,
+                        Arc::clone(&root),
+                        Arc::clone(&log),
+                        applier,
+                    )),
+                    None,
+                )
+            }
+            CheckpointMode::Cow => (
+                None,
+                Some(CowCheckpointer::new(
+                    Arc::clone(&pool),
+                    layout,
+                    Arc::clone(&root),
+                    Arc::clone(&log),
+                    Arc::clone(&dram),
+                    Arc::clone(&drain),
+                )),
+            ),
+        };
+        Arc::new(StoreInner {
+            cfg,
+            layout,
+            pool,
+            ssd,
+            root,
+            log,
+            dram,
+            dir,
+            pool_lock: Mutex::new(()),
+            btree_lock: RwLock::new(()),
+            global_lock: Mutex::new(()),
+            readers: ReadCounts::new(),
+            writers: InflightWriters::new(),
+            drain,
+            ckpt: Mutex::new(ckpt),
+            cow,
+            stats: StoreStats::new(),
+            recovery,
+        })
+    }
+
+    /// A per-thread operation context — the paper's `ds_init`.
+    pub fn context(&self) -> DsContext {
+        DsContext::new(Arc::clone(&self.inner))
+    }
+
+    /// Runs one complete checkpoint synchronously.
+    pub fn checkpoint_now(&self) {
+        match self.inner.cfg.checkpoint {
+            CheckpointMode::Dipper => {
+                if let Some(c) = self.inner.ckpt.lock().as_ref() {
+                    c.run_inline();
+                }
+            }
+            CheckpointMode::Cow => {
+                if let Some(c) = &self.inner.cow {
+                    c.run_inline();
+                }
+            }
+        }
+    }
+
+    /// Blocks until no checkpoint is running.
+    pub fn wait_checkpoint_idle(&self) {
+        match self.inner.cfg.checkpoint {
+            CheckpointMode::Dipper => {
+                if let Some(c) = self.inner.ckpt.lock().as_ref() {
+                    c.wait_idle();
+                }
+            }
+            CheckpointMode::Cow => {
+                if let Some(c) = &self.inner.cow {
+                    c.wait_idle();
+                }
+            }
+        }
+    }
+
+    /// Failure injection: performs only the checkpoint *swap* (log flip +
+    /// root transition) without scheduling the apply phase, leaving the
+    /// store in the paper's worst-case crash window — "an unexpected
+    /// crash just before the checkpoint process is complete" (§5.5).
+    /// Only meaningful with `auto_checkpoint = false`, and only in DIPPER
+    /// mode: a CoW checkpoint's recovery contract assumes the archived
+    /// log covers everything since the current image, which a second swap
+    /// on top of an uncompleted one would violate. (Recovery itself
+    /// always completes an interrupted checkpoint before handing the
+    /// store over, so live stores never observe an orphaned one.)
+    pub fn begin_checkpoint_swap_only(&self) {
+        assert!(
+            matches!(self.inner.cfg.checkpoint, CheckpointMode::Dipper),
+            "swap-only crash injection requires DIPPER mode"
+        );
+        self.inner.log.swap(|| {
+            self.inner.root.begin_checkpoint();
+        });
+    }
+
+    /// DIPPER checkpoint counters (None in CoW mode).
+    pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
+        let g = self.inner.ckpt.lock();
+        g.as_ref().map(|c| {
+            let s = c.stats();
+            CheckpointStats {
+                completed: s.completed.load(std::sync::atomic::Ordering::Relaxed).into(),
+                records_applied: s.records_applied.load(std::sync::atomic::Ordering::Relaxed).into(),
+                bytes_copied: s.bytes_copied.load(std::sync::atomic::Ordering::Relaxed).into(),
+                last_apply_ns: s.last_apply_ns.load(std::sync::atomic::Ordering::Relaxed).into(),
+            }
+        })
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.inner.stats
+    }
+
+    /// What the last recovery did (zeroes for a fresh store).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.inner.recovery
+    }
+
+    /// The PMEM device (bandwidth counters for Figure 7).
+    pub fn pmem(&self) -> &Arc<PmemPool> {
+        &self.inner.pool
+    }
+
+    /// The SSD device (bandwidth counters for Figure 7).
+    pub fn ssd(&self) -> &Arc<SsdDevice> {
+        &self.inner.ssd
+    }
+
+    /// Storage footprint across DRAM, PMEM, and SSD (Figure 10).
+    pub fn footprint(&self) -> Footprint {
+        let inner = &self.inner;
+        let dram_bytes = inner.dram.stats().high_water;
+        let shadow_used: u64 = (0..2)
+            .map(|i| {
+                Arena::attach(PmemRange::new(
+                    Arc::clone(&inner.pool),
+                    inner.layout.shadow[i],
+                    inner.layout.shadow_size,
+                ))
+                .map(|a| a.stats().high_water)
+                .unwrap_or(0)
+            })
+            .sum();
+        let pmem_bytes =
+            (ROOT_SIZE + 2 * (LOG_HEADER_SIZE + inner.layout.log_size)) as u64 + shadow_used;
+        let domain = inner.domain();
+        let ppb = domain.pages_per_block();
+        let capacity = (inner.cfg.ssd_pages - 1) / ppb;
+        let used_blocks = capacity - domain.pool_free();
+        let ssd_bytes = (used_blocks * ppb + 1) * dstore_ssd::PAGE_SIZE as u64;
+        let (_, data_bytes) = domain.counters();
+        Footprint {
+            dram_bytes,
+            pmem_bytes,
+            ssd_bytes,
+            logical_bytes: data_bytes,
+        }
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> u64 {
+        self.inner.domain().counters().0
+    }
+
+    /// Simulates a power failure: stops checkpoint machinery, discards
+    /// every unflushed PMEM cache line, and returns the devices for
+    /// [`DStore::recover`]. In-flight client operations must have
+    /// finished (drop contexts first); to crash *inside* a checkpoint,
+    /// use `auto_checkpoint = false` +
+    /// [`DStore::begin_checkpoint_swap_only`].
+    pub fn crash(self) -> CrashImage {
+        // Dropping the checkpointer joins its worker; a mid-apply
+        // checkpoint completes in volatile terms, but the crash below
+        // discards everything it did not get to the persistent image +
+        // root commit.
+        drop(self.inner.ckpt.lock().take());
+        if let Some(c) = &self.inner.cow {
+            c.wait_idle();
+        }
+        self.inner.pool.simulate_crash();
+        self.inner.ssd.simulate_crash();
+        CrashImage {
+            pool: Arc::clone(&self.inner.pool),
+            ssd: Arc::clone(&self.inner.ssd),
+            cfg: self.inner.cfg.clone(),
+        }
+    }
+
+    /// Recovers a store from crashed devices (§3.6): redo any interrupted
+    /// checkpoint, rebuild the volatile space from the checkpoint image,
+    /// replay the active log, resume.
+    pub fn recover(image: CrashImage) -> DsResult<Self> {
+        let CrashImage { pool, ssd, cfg } = image;
+        let layout = PmemLayout::new(&dipper_cfg(&cfg));
+        let root = Arc::new(
+            Root::attach(
+                Arc::clone(&pool),
+                layout.log_size as u64,
+                layout.shadow_size as u64,
+            )
+            .ok_or(DsError::NotFormatted)?,
+        );
+        // Validate the SSD superblock.
+        let mut sb = vec![0u8; dstore_ssd::PAGE_SIZE];
+        ssd.read_pages(0, &mut sb);
+        if u64::from_le_bytes(sb[..8].try_into().unwrap()) != SB_MAGIC {
+            return Err(DsError::NotFormatted);
+        }
+
+        let dir: RelPtr<Directory> = RelPtr::from_offset(root.app_dir());
+        let plan = recover_scan(&pool, &layout, &root);
+        let mut report = RecoveryReport::default();
+
+        let t_meta = Instant::now();
+        // Step 1: redo the interrupted checkpoint on the old shadow image.
+        if let Some(redo) = &plan.redo_records {
+            let applier = make_applier(&pool, layout, dir);
+            let stats = dstore_dipper::CheckpointStats::default();
+            apply_checkpoint(&pool, &layout, &root, &applier, redo, &stats);
+            report.redo_checkpoint = true;
+            report.redo_records = redo.len();
+        }
+        // Step 2: reconstruct the volatile space from the (now consistent)
+        // checkpoint image.
+        let state = root.state();
+        let shadow = Arena::attach(PmemRange::new(
+            Arc::clone(&pool),
+            layout.shadow[state.current_shadow],
+            layout.shadow_size,
+        ))
+        .ok_or(DsError::NotFormatted)?;
+        let dram = Arc::new(Arena::create(DramMemory::new(layout.shadow_size)));
+        pool.bulk_read_charge(shadow.allocated_len());
+        shadow.copy_allocated_to(&dram);
+        report.metadata_ns = t_meta.elapsed().as_nanos() as u64;
+
+        // Step 3: replay committed active-log records as new requests.
+        let t_replay = Instant::now();
+        {
+            let domain = Domain::attach(&dram, dir);
+            for r in &plan.replay_records {
+                domain.replay(r);
+            }
+            report.replayed_records = plan.replay_records.len();
+        }
+        report.replay_ns = t_replay.elapsed().as_nanos() as u64;
+
+        // Step 4: resume — volatile log state, fresh CC state.
+        let log = Arc::new(plan.finish(Arc::clone(&pool), layout));
+        Ok(Self {
+            inner: Self::assemble(cfg, layout, pool, ssd, root, log, dram, dir, report),
+        })
+    }
+
+    /// Clean shutdown: checkpoint everything, then stop. Returns the
+    /// devices so the store can be reopened with [`DStore::recover`]
+    /// (which will find an empty active log).
+    pub fn close(self) -> CrashImage {
+        self.checkpoint_now();
+        drop(self.inner.ckpt.lock().take());
+        if let Some(c) = &self.inner.cow {
+            c.wait_idle();
+        }
+        let _ = self.inner.pool.sync_backing_file();
+        let _ = self.inner.ssd.sync_backing_file();
+        self.inner.pool.simulate_crash(); // a clean image: everything persisted
+        CrashImage {
+            pool: Arc::clone(&self.inner.pool),
+            ssd: Arc::clone(&self.inner.ssd),
+            cfg: self.inner.cfg.clone(),
+        }
+    }
+}
+
+impl CowCheckpointer {
+    /// Trigger used from the op path, where the caller holds the drain
+    /// *read* lock: hand the (write-locking) trigger to a helper thread.
+    pub(crate) fn try_begin_from_op_path(&self) -> bool {
+        let me = self.clone_handle();
+        std::thread::Builder::new()
+            .name("dstore-cow-trigger".into())
+            .spawn(move || {
+                me.try_begin();
+            })
+            .is_ok()
+    }
+
+    /// Blocking trigger from the op path: the caller must *release* its
+    /// drain read lock before calling (it does: `handle_log_full` runs
+    /// after the append loop dropped all locks).
+    pub(crate) fn begin_blocking_from_op_path(&self) {
+        // Wait for a running checkpoint; then trigger (possibly losing a
+        // race to another thread, which is fine — space was freed).
+        self.wait_idle();
+        self.try_begin();
+    }
+}

@@ -1,0 +1,917 @@
+//! DStore's arena-resident control-plane structures and the deterministic
+//! state machine that mutates them.
+//!
+//! Everything in this module lives inside an arena and is therefore
+//! shadow-copyable: the [`Directory`] (pointed to by the PMEM root's
+//! app-dir word), the object-index B-tree, the metadata zone of
+//! [`MetaEntry`]s, and the SSD [block pool](PoolHeader) — exactly the
+//! boxes of the paper's Figure 4.
+//!
+//! [`Domain`] binds these structures to one arena (the DRAM system space,
+//! or a PMEM shadow region during checkpoint replay / recovery) and
+//! implements every logged operation in two phases:
+//!
+//! * **plan** — the block-pool interactions (steps ③/④ of Figure 4).
+//!   These *must* execute in log order: the pool is a FIFO whose pops are
+//!   only reproducible if replay consumes it in the same sequence the
+//!   frontend did, which the frontend guarantees by planning inside the
+//!   same critical section that appends the record (steps ①–⑤).
+//! * **install** — the metadata-zone and B-tree updates (steps ⑥/⑦).
+//!   These touch only the operation's own object, so by observational
+//!   equivalence they may run outside the synchronous region and in
+//!   parallel across objects; internal layout (entry offsets, tree shape)
+//!   may differ between domains while observable state stays identical
+//!   (§3.7).
+//!
+//! [`Domain::replay`] is the composition of both phases and is what
+//! checkpoint replay and recovery execute, record by record.
+
+use crate::error::{DsError, DsResult};
+use crate::ops::{self, ExtendParams, PhysImage, PutParams};
+use dstore_arena::{Arena, ArenaPod, Memory, RelPtr};
+use dstore_dipper::record::OwnedRecord;
+use dstore_dipper::OP_NOOP;
+use dstore_index::{BTreeHandle, BTreeHeader};
+
+/// Maximum object-name length (fits a log record comfortably).
+pub const MAX_NAME_LEN: usize = 255;
+/// Bytes per SSD page (blocks are `pages_per_block` of these).
+pub const PAGE_BYTES: u64 = dstore_ssd::PAGE_SIZE as u64;
+/// Bytes per SSD block in the default one-page-per-block configuration
+/// (kept for callers that size buffers; per-store geometry lives in the
+/// [`Directory`]).
+pub const BLOCK_SIZE: u64 = PAGE_BYTES;
+/// Direct block slots in a [`MetaEntry`] (objects ≤ 48 KB need no
+/// overflow chain).
+pub const NDIRECT: usize = 12;
+/// Block slots per [`Overflow`] node.
+pub const OVERFLOW_CAP: usize = 126;
+
+/// The application directory: the single arena object the PMEM root
+/// points at.
+#[repr(C)]
+#[derive(Debug)]
+pub struct Directory {
+    /// Object-index B-tree header.
+    pub btree: RelPtr<BTreeHeader>,
+    /// SSD block pool (free allocation blocks).
+    pub block_pool: RelPtr<PoolHeader>,
+    /// Live object count.
+    pub live_objects: u64,
+    /// Logical bytes stored across all objects.
+    pub data_bytes: u64,
+    /// SSD pages per allocation block (store geometry; shadow replay
+    /// reads it from the copied directory, keeping replay deterministic
+    /// without re-reading configuration).
+    pub pages_per_block: u64,
+}
+// SAFETY: repr(C) composition of pods; zero-valid.
+unsafe impl ArenaPod for Directory {}
+
+/// Per-object metadata — one entry in the metadata zone.
+#[repr(C)]
+#[derive(Debug)]
+pub struct MetaEntry {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Number of allocated blocks.
+    pub nblocks: u32,
+    /// Bumped on every mutation (update visibility / diagnostics).
+    pub version: u32,
+    /// LSN of the last mutating record (logical mtime).
+    pub mtime_lsn: u64,
+    /// First [`NDIRECT`] block ids.
+    pub direct: [u64; NDIRECT],
+    /// Chain of additional blocks for large objects.
+    pub overflow: RelPtr<Overflow>,
+}
+// SAFETY: repr(C) pods; zero-valid (empty object).
+unsafe impl ArenaPod for MetaEntry {}
+
+/// Overflow node holding further block ids.
+#[repr(C)]
+pub struct Overflow {
+    /// Blocks used in this node.
+    pub count: u64,
+    /// Next node in the chain.
+    pub next: RelPtr<Overflow>,
+    /// Block ids.
+    pub blocks: [u64; OVERFLOW_CAP],
+}
+// SAFETY: repr(C) pods; zero-valid.
+unsafe impl ArenaPod for Overflow {}
+
+/// A FIFO ring of free u64 items in the arena — the paper's block pool
+/// ("circular buffers containing free blocks", §4.2). FIFO order is
+/// load-bearing: it makes allocation deterministic under log-order replay
+/// and maximizes the reuse distance of freed blocks.
+#[repr(C)]
+#[derive(Debug)]
+pub struct PoolHeader {
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Index of the next item to pop.
+    pub head: u64,
+    /// Items currently in the ring.
+    pub count: u64,
+    /// The ring storage (`capacity` u64s).
+    pub items: RelPtr<u64>,
+}
+// SAFETY: repr(C) pods; zero-valid.
+unsafe impl ArenaPod for PoolHeader {}
+
+/// Number of blocks of `block_bytes` an object of `size` bytes occupies.
+#[inline]
+pub fn blocks_for_geometry(size: u64, block_bytes: u64) -> u64 {
+    size.div_ceil(block_bytes)
+}
+
+/// Number of blocks an object of `size` bytes occupies in the default
+/// one-page-per-block geometry.
+#[inline]
+pub fn blocks_for(size: u64) -> u64 {
+    blocks_for_geometry(size, BLOCK_SIZE)
+}
+
+/// The result of a put/create plan: the object's final block list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutPlan {
+    /// What kind of mutation this is.
+    pub kind: PutKind,
+    /// The object's final, complete block list.
+    pub blocks: Vec<u64>,
+    /// Blocks returned to the pool (diagnostics / physical logging).
+    pub freed: Vec<u64>,
+}
+
+/// Classification of a put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutKind {
+    /// New object.
+    Create,
+    /// Existing object, block count changed: reallocate.
+    Replace,
+    /// Existing object, same block count: in-place data update, metadata
+    /// version bump only.
+    Touch,
+}
+
+/// The result of an extend plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendPlan {
+    /// Complete block list after the extension.
+    pub blocks: Vec<u64>,
+    /// New object size.
+    pub new_size: u64,
+}
+
+/// The result of a delete plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeletePlan {
+    /// Blocks that were returned to the pool.
+    pub freed: Vec<u64>,
+}
+
+/// One control-plane domain: the structures of [`Directory`] bound to the
+/// arena they live in.
+///
+/// Synchronization is the *caller's* job (the store wraps plan calls in
+/// the pool lock and install calls in the B-tree lock; replay is
+/// single-threaded per domain).
+pub struct Domain<'a, M: Memory> {
+    arena: &'a Arena<M>,
+    dir: RelPtr<Directory>,
+}
+
+impl<'a, M: Memory> Domain<'a, M> {
+    /// Formats a fresh domain in `arena`: directory, empty B-tree, and a
+    /// block pool pre-filled with every data block of an `ssd_pages`-page
+    /// device (page 0 is the superblock and is never pooled). Blocks are
+    /// the default single page.
+    pub fn format(arena: &'a Arena<M>, ssd_pages: u64) -> Self {
+        Self::format_with_geometry(arena, ssd_pages, 1)
+    }
+
+    /// [`Domain::format`] with `pages_per_block` pages per allocation
+    /// block. Block `b` owns pages `[1 + b·ppb, 1 + (b+1)·ppb)`.
+    pub fn format_with_geometry(
+        arena: &'a Arena<M>,
+        ssd_pages: u64,
+        pages_per_block: u64,
+    ) -> Self {
+        assert!(pages_per_block >= 1, "blocks hold at least one page");
+        assert!(ssd_pages > pages_per_block, "SSD too small");
+        let dir: RelPtr<Directory> = arena.alloc();
+        let btree = BTreeHandle::create(arena);
+        let capacity = (ssd_pages - 1) / pages_per_block;
+        let items = RelPtr::<u64>::from_offset(arena.alloc_block((capacity * 8) as usize));
+        // SAFETY: fresh allocation of capacity u64s.
+        unsafe {
+            let base = arena.resolve(items);
+            for i in 0..capacity {
+                *base.add(i as usize) = i; // block ids 0..capacity
+            }
+        }
+        let pool: RelPtr<PoolHeader> = arena.alloc();
+        // SAFETY: fresh allocations, exclusive.
+        unsafe {
+            let p = &mut *arena.resolve(pool);
+            p.capacity = capacity;
+            p.head = 0;
+            p.count = capacity;
+            p.items = items;
+            let d = &mut *arena.resolve(dir);
+            d.btree = btree.header_ptr();
+            d.block_pool = pool;
+            d.pages_per_block = pages_per_block;
+        }
+        Self { arena, dir }
+    }
+
+    /// SSD pages per allocation block.
+    pub fn pages_per_block(&self) -> u64 {
+        // SAFETY: directory live.
+        unsafe { (*self.arena.resolve(self.dir)).pages_per_block }
+    }
+
+    /// Bytes per allocation block.
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block() * PAGE_BYTES
+    }
+
+    /// First SSD page of block `id` (page 0 is the superblock).
+    pub fn block_first_page(&self, id: u64) -> u64 {
+        1 + id * self.pages_per_block()
+    }
+
+    /// Binds to an existing directory (shadow replay, recovery).
+    pub fn attach(arena: &'a Arena<M>, dir: RelPtr<Directory>) -> Self {
+        Self { arena, dir }
+    }
+
+    /// The directory's arena offset (stored in the PMEM root).
+    pub fn dir_ptr(&self) -> RelPtr<Directory> {
+        self.dir
+    }
+
+    /// The underlying arena.
+    pub fn arena(&self) -> &'a Arena<M> {
+        self.arena
+    }
+
+    /// The object-index B-tree.
+    pub fn btree(&self) -> BTreeHandle<'a, M> {
+        // SAFETY: directory is live for the domain's lifetime.
+        let hdr = unsafe { (*self.arena.resolve(self.dir)).btree };
+        BTreeHandle::attach(self.arena, hdr)
+    }
+
+    /// Directory counters `(live_objects, data_bytes)`.
+    pub fn counters(&self) -> (u64, u64) {
+        // SAFETY: directory live.
+        unsafe {
+            let d = &*self.arena.resolve(self.dir);
+            (d.live_objects, d.data_bytes)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // block pool
+
+    /// Pops one free block. Caller holds the pool lock (frontend) or is
+    /// the single replay thread.
+    pub fn pool_pop(&self) -> Option<u64> {
+        // SAFETY: pool structures live; caller synchronizes.
+        unsafe {
+            let p = &mut *self.arena.resolve((*self.arena.resolve(self.dir)).block_pool);
+            if p.count == 0 {
+                return None;
+            }
+            let base = self.arena.resolve(p.items);
+            let v = *base.add(p.head as usize);
+            p.head = (p.head + 1) % p.capacity;
+            p.count -= 1;
+            Some(v)
+        }
+    }
+
+    /// Pushes a freed block to the FIFO tail.
+    pub fn pool_push(&self, id: u64) {
+        // SAFETY: as in pool_pop.
+        unsafe {
+            let p = &mut *self.arena.resolve((*self.arena.resolve(self.dir)).block_pool);
+            assert!(p.count < p.capacity, "pool overflow: double free?");
+            let base = self.arena.resolve(p.items);
+            *base.add(((p.head + p.count) % p.capacity) as usize) = id;
+            p.count += 1;
+        }
+    }
+
+    /// Reads the next `n` blocks the pool would pop, without popping.
+    /// Used by physical-mode logging to encode the post-image before the
+    /// record is appended (the actual pops happen only if the append wins
+    /// its conflict check, and return exactly these ids — all under the
+    /// pool lock).
+    pub fn pool_peek(&self, n: u64) -> Option<Vec<u64>> {
+        // SAFETY: read-only under the caller's pool lock.
+        unsafe {
+            let p = &*self.arena.resolve((*self.arena.resolve(self.dir)).block_pool);
+            if p.count < n {
+                return None;
+            }
+            let base = self.arena.resolve(p.items);
+            Some(
+                (0..n)
+                    .map(|i| *base.add(((p.head + i) % p.capacity) as usize))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Free blocks remaining.
+    pub fn pool_free(&self) -> u64 {
+        // SAFETY: read-only.
+        unsafe {
+            (*self
+                .arena
+                .resolve((*self.arena.resolve(self.dir)).block_pool))
+            .count
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // metadata entries
+
+    /// Looks up an object's metadata entry.
+    pub fn lookup(&self, name: &[u8]) -> Option<RelPtr<MetaEntry>> {
+        self.btree().get(name).map(RelPtr::from_offset)
+    }
+
+    /// Copies out an entry's `(size, version, block list)`.
+    pub fn read_entry(&self, e: RelPtr<MetaEntry>) -> (u64, u32, Vec<u64>) {
+        // SAFETY: entry live; caller excludes concurrent writers (CC).
+        unsafe {
+            let m = &*self.arena.resolve(e);
+            (m.size, m.version, self.entry_blocks(m))
+        }
+    }
+
+    /// Collects an entry's full block list (direct + overflow chain).
+    ///
+    /// # Safety
+    ///
+    /// `m` must be a live entry not concurrently mutated.
+    unsafe fn entry_blocks(&self, m: &MetaEntry) -> Vec<u64> {
+        let n = m.nblocks as usize;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n.min(NDIRECT) {
+            out.push(m.direct[i]);
+        }
+        let mut ov = m.overflow;
+        while !ov.is_null() {
+            let node = &*self.arena.resolve(ov);
+            for i in 0..node.count as usize {
+                out.push(node.blocks[i]);
+            }
+            ov = node.next;
+        }
+        debug_assert_eq!(out.len(), n, "block list inconsistent");
+        out
+    }
+
+    /// Overwrites an entry's block list, growing/shrinking the overflow
+    /// chain as needed.
+    ///
+    /// # Safety
+    ///
+    /// Exclusive access to the entry (CC).
+    unsafe fn entry_set_blocks(&self, e: RelPtr<MetaEntry>, blocks: &[u64]) {
+        let m = &mut *self.arena.resolve(e);
+        // Free the old chain.
+        let mut ov = m.overflow;
+        while !ov.is_null() {
+            let next = (*self.arena.resolve(ov)).next;
+            self.arena.free(ov);
+            ov = next;
+        }
+        m.overflow = RelPtr::null();
+        m.nblocks = blocks.len() as u32;
+        for (i, b) in blocks.iter().take(NDIRECT).enumerate() {
+            m.direct[i] = *b;
+        }
+        // Build a fresh chain for the remainder.
+        let mut rest = &blocks[blocks.len().min(NDIRECT)..];
+        let mut tail: *mut RelPtr<Overflow> = &mut m.overflow;
+        while !rest.is_empty() {
+            let node_ptr: RelPtr<Overflow> = self.arena.alloc();
+            let node = &mut *self.arena.resolve(node_ptr);
+            let take = rest.len().min(OVERFLOW_CAP);
+            node.count = take as u64;
+            node.blocks[..take].copy_from_slice(&rest[..take]);
+            *tail = node_ptr;
+            tail = &mut node.next;
+            rest = &rest[take..];
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // plan phase (pool interactions; log order)
+
+    /// Plans an [`ops::OP_PUT`]-family operation: classifies it and
+    /// performs the pool pops/pushes. Must run in log-append order.
+    pub fn plan_put(&self, name: &[u8], size: u64) -> DsResult<PutPlan> {
+        let need = blocks_for_geometry(size, self.block_bytes());
+        match self.lookup(name) {
+            Some(e) => {
+                // SAFETY: CC guarantees no concurrent writer on `name`.
+                let (_, _, old_blocks) = self.read_entry(e);
+                if old_blocks.len() as u64 == need {
+                    return Ok(PutPlan {
+                        kind: PutKind::Touch,
+                        blocks: old_blocks,
+                        freed: vec![],
+                    });
+                }
+                let blocks = self.pop_n(need)?;
+                for &b in &old_blocks {
+                    self.pool_push(b);
+                }
+                Ok(PutPlan {
+                    kind: PutKind::Replace,
+                    blocks,
+                    freed: old_blocks,
+                })
+            }
+            None => Ok(PutPlan {
+                kind: PutKind::Create,
+                blocks: self.pop_n(need)?,
+                freed: vec![],
+            }),
+        }
+    }
+
+    fn pop_n(&self, n: u64) -> DsResult<Vec<u64>> {
+        if self.pool_free() < n {
+            return Err(DsError::OutOfSpace);
+        }
+        Ok((0..n).map(|_| self.pool_pop().expect("count checked")).collect())
+    }
+
+    /// Plans an [`ops::OP_EXTEND`]: pops the additional blocks.
+    pub fn plan_extend(&self, name: &[u8], offset: u64, len: u64) -> DsResult<ExtendPlan> {
+        let e = self.lookup(name).ok_or(DsError::NotFound)?;
+        let (size, _, mut blocks) = self.read_entry(e);
+        let new_size = size.max(offset + len);
+        let need = blocks_for_geometry(new_size, self.block_bytes());
+        let extra = need.saturating_sub(blocks.len() as u64);
+        blocks.extend(self.pop_n(extra)?);
+        Ok(ExtendPlan { blocks, new_size })
+    }
+
+    /// Plans an [`ops::OP_DELETE`]: pushes the object's blocks back.
+    pub fn plan_delete(&self, name: &[u8]) -> DsResult<DeletePlan> {
+        let e = self.lookup(name).ok_or(DsError::NotFound)?;
+        let (_, _, blocks) = self.read_entry(e);
+        for &b in &blocks {
+            self.pool_push(b);
+        }
+        Ok(DeletePlan { freed: blocks })
+    }
+
+    // ------------------------------------------------------------------
+    // install phase (metadata zone + B-tree; per-object, OE-parallel)
+
+    /// Installs a planned put: creates or updates the metadata entry and
+    /// the B-tree mapping. Caller holds the B-tree lock (frontend) or is
+    /// the replay thread.
+    pub fn install_put(&self, name: &[u8], size: u64, plan: &PutPlan, lsn: u64) {
+        let (old_size, entry) = match self.lookup(name) {
+            Some(e) => {
+                // SAFETY: CC excludes concurrent writers on this object.
+                let s = unsafe { (*self.arena.resolve(e)).size };
+                (s, e)
+            }
+            None => {
+                let e: RelPtr<MetaEntry> = self.arena.alloc();
+                self.btree().insert(name, e.offset());
+                (0, e)
+            }
+        };
+        // SAFETY: exclusive entry access via CC.
+        unsafe {
+            if plan.kind != PutKind::Touch {
+                self.entry_set_blocks(entry, &plan.blocks);
+            }
+            let m = &mut *self.arena.resolve(entry);
+            m.size = size;
+            m.version += 1;
+            m.mtime_lsn = lsn;
+            let d = &mut *self.arena.resolve(self.dir);
+            if plan.kind == PutKind::Create {
+                d.live_objects += 1;
+            }
+            d.data_bytes = d.data_bytes + size - old_size;
+        }
+    }
+
+    /// Installs a planned extension.
+    pub fn install_extend(&self, name: &[u8], plan: &ExtendPlan, lsn: u64) {
+        let e = self.lookup(name).expect("extend of existing object");
+        // SAFETY: exclusive entry access via CC.
+        unsafe {
+            let old = (*self.arena.resolve(e)).size;
+            self.entry_set_blocks(e, &plan.blocks);
+            let m = &mut *self.arena.resolve(e);
+            m.size = plan.new_size;
+            m.version += 1;
+            m.mtime_lsn = lsn;
+            let d = &mut *self.arena.resolve(self.dir);
+            d.data_bytes = d.data_bytes + plan.new_size - old;
+        }
+    }
+
+    /// Installs a delete: removes the entry and the B-tree mapping.
+    pub fn install_delete(&self, name: &[u8]) {
+        let e = self
+            .lookup(name)
+            .expect("delete of existing object (planned)");
+        // SAFETY: exclusive entry access via CC.
+        unsafe {
+            let old = (*self.arena.resolve(e)).size;
+            // Free the overflow chain, then the entry itself.
+            self.entry_set_blocks(e, &[]);
+            self.arena.free(e);
+            self.btree().remove(name);
+            let d = &mut *self.arena.resolve(self.dir);
+            d.live_objects -= 1;
+            d.data_bytes -= old;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // replay (checkpoint + recovery)
+
+    /// Applies one committed log record to this domain — the deterministic
+    /// state machine of §3.2 ("each logical operation translates to a set
+    /// of functions to be performed on each data structure … used by the
+    /// recovery logic to update the shadow copies").
+    pub fn replay(&self, rec: &OwnedRecord) {
+        match rec.op {
+            OP_NOOP => {}
+            ops::OP_PUT | ops::OP_TOUCH | ops::OP_CREATE => {
+                let p = PutParams::decode(&rec.params).expect("valid put params");
+                let plan = self
+                    .plan_put(&rec.name, p.size)
+                    .expect("replay allocation mirrors frontend");
+                self.install_put(&rec.name, p.size, &plan, rec.lsn);
+            }
+            ops::OP_EXTEND => {
+                let p = ExtendParams::decode(&rec.params).expect("valid extend params");
+                let plan = self
+                    .plan_extend(&rec.name, p.offset, p.len)
+                    .expect("replay extension mirrors frontend");
+                self.install_extend(&rec.name, &plan, rec.lsn);
+            }
+            ops::OP_DELETE => {
+                self.plan_delete(&rec.name).expect("replay delete mirrors frontend");
+                self.install_delete(&rec.name);
+            }
+            ops::OP_PHYS_INSTALL => {
+                let img = PhysImage::decode(&rec.params).expect("valid phys image");
+                for _ in 0..img.pops {
+                    self.pool_pop().expect("phys replay pool pop");
+                }
+                for &b in &img.pushes {
+                    self.pool_push(b);
+                }
+                let plan = PutPlan {
+                    kind: if self.lookup(&rec.name).is_some() {
+                        if img.pops == 0 && img.pushes.is_empty() {
+                            PutKind::Touch
+                        } else {
+                            PutKind::Replace
+                        }
+                    } else {
+                        PutKind::Create
+                    },
+                    blocks: img.blocks.clone(),
+                    freed: img.pushes.clone(),
+                };
+                self.install_put(&rec.name, img.size, &plan, rec.lsn);
+            }
+            ops::OP_PHYS_DELETE => {
+                let img = PhysImage::decode(&rec.params).expect("valid phys image");
+                for &b in &img.pushes {
+                    self.pool_push(b);
+                }
+                self.install_delete(&rec.name);
+            }
+            other => panic!("unknown op code {other} in log"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstore_arena::DramMemory;
+
+    fn domain(arena: &Arena<DramMemory>) -> Domain<'_, DramMemory> {
+        Domain::format(arena, 1024) // 1023 data blocks
+    }
+
+    fn arena() -> Arena<DramMemory> {
+        Arena::create(DramMemory::new(16 << 20))
+    }
+
+    #[test]
+    fn format_fills_pool_fifo() {
+        let a = arena();
+        let d = domain(&a);
+        assert_eq!(d.pool_free(), 1023);
+        assert_eq!(d.pool_pop(), Some(0));
+        assert_eq!(d.pool_pop(), Some(1));
+        d.pool_push(0);
+        // FIFO: 0 goes to the back, next pop is 2.
+        assert_eq!(d.pool_pop(), Some(2));
+        assert_eq!(d.pool_free(), 1021);
+        // Block 0 owns page 1 (page 0 is the superblock).
+        assert_eq!(d.block_first_page(0), 1);
+        assert_eq!(d.block_bytes(), 4096);
+    }
+
+    #[test]
+    fn multi_page_block_geometry() {
+        let a = arena();
+        let d = Domain::format_with_geometry(&a, 1024, 4);
+        // 1023 data pages → 255 four-page blocks.
+        assert_eq!(d.pool_free(), 255);
+        assert_eq!(d.block_bytes(), 16384);
+        assert_eq!(d.block_first_page(0), 1);
+        assert_eq!(d.block_first_page(3), 13);
+        // A 20 KB object needs two 16 KB blocks.
+        let p = d.plan_put(b"big", 20_000).unwrap();
+        assert_eq!(p.blocks.len(), 2);
+        d.install_put(b"big", 20_000, &p, 1);
+        // A 4 KB object still takes one (whole) block.
+        let q = d.plan_put(b"small", 4096).unwrap();
+        assert_eq!(q.blocks.len(), 1);
+        d.install_put(b"small", 4096, &q, 2);
+        assert_eq!(d.pool_free(), 252);
+        // Delete returns blocks.
+        d.plan_delete(b"big").unwrap();
+        d.install_delete(b"big");
+        assert_eq!(d.pool_free(), 254);
+    }
+
+    #[test]
+    fn put_create_then_touch_then_replace() {
+        let a = arena();
+        let d = domain(&a);
+        let p1 = d.plan_put(b"obj", 4096).unwrap();
+        assert_eq!(p1.kind, PutKind::Create);
+        assert_eq!(p1.blocks.len(), 1);
+        d.install_put(b"obj", 4096, &p1, 1);
+        assert_eq!(d.counters(), (1, 4096));
+
+        // Same block count: touch.
+        let p2 = d.plan_put(b"obj", 4000).unwrap();
+        assert_eq!(p2.kind, PutKind::Touch);
+        assert_eq!(p2.blocks, p1.blocks);
+        d.install_put(b"obj", 4000, &p2, 2);
+        assert_eq!(d.counters(), (1, 4000));
+
+        // Bigger: replace.
+        let p3 = d.plan_put(b"obj", 10_000).unwrap();
+        assert_eq!(p3.kind, PutKind::Replace);
+        assert_eq!(p3.blocks.len(), 3);
+        assert_eq!(p3.freed, p1.blocks);
+        d.install_put(b"obj", 10_000, &p3, 3);
+        let e = d.lookup(b"obj").unwrap();
+        let (size, version, blocks) = d.read_entry(e);
+        assert_eq!(size, 10_000);
+        assert_eq!(version, 3);
+        assert_eq!(blocks, p3.blocks);
+    }
+
+    #[test]
+    fn delete_returns_blocks_and_removes_object() {
+        let a = arena();
+        let d = domain(&a);
+        let before = d.pool_free();
+        let p = d.plan_put(b"gone", 8192).unwrap();
+        d.install_put(b"gone", 8192, &p, 1);
+        assert_eq!(d.pool_free(), before - 2);
+        let del = d.plan_delete(b"gone").unwrap();
+        assert_eq!(del.freed, p.blocks);
+        d.install_delete(b"gone");
+        assert_eq!(d.pool_free(), before);
+        assert!(d.lookup(b"gone").is_none());
+        assert_eq!(d.counters(), (0, 0));
+    }
+
+    #[test]
+    fn extend_grows_block_list() {
+        let a = arena();
+        let d = domain(&a);
+        let p = d.plan_put(b"f", 1000).unwrap();
+        d.install_put(b"f", 1000, &p, 1);
+        let ext = d.plan_extend(b"f", 4096, 5000).unwrap();
+        assert_eq!(ext.new_size, 9096);
+        assert_eq!(ext.blocks.len(), 3);
+        assert_eq!(&ext.blocks[..1], &p.blocks[..]);
+        d.install_extend(b"f", &ext, 2);
+        let (size, _, blocks) = d.read_entry(d.lookup(b"f").unwrap());
+        assert_eq!(size, 9096);
+        assert_eq!(blocks, ext.blocks);
+        // Extend entirely within the existing size allocates nothing.
+        let free = d.pool_free();
+        let ext2 = d.plan_extend(b"f", 0, 100).unwrap();
+        assert_eq!(ext2.new_size, 9096);
+        assert_eq!(d.pool_free(), free);
+    }
+
+    #[test]
+    fn overflow_chain_for_large_objects() {
+        let a = arena();
+        let d = Domain::format(&a, 4096);
+        // 200 blocks: 12 direct + 126 overflow + 62 overflow.
+        let size = 200 * BLOCK_SIZE;
+        let p = d.plan_put(b"big", size).unwrap();
+        assert_eq!(p.blocks.len(), 200);
+        d.install_put(b"big", size, &p, 1);
+        let (_, _, blocks) = d.read_entry(d.lookup(b"big").unwrap());
+        assert_eq!(blocks, p.blocks);
+        // Shrink back to 1 block; chain is freed, blocks return to pool.
+        let free_before = d.pool_free();
+        let p2 = d.plan_put(b"big", 100).unwrap();
+        assert_eq!(p2.kind, PutKind::Replace);
+        d.install_put(b"big", 100, &p2, 2);
+        assert_eq!(d.pool_free(), free_before + 200 - 1);
+        let (_, _, blocks) = d.read_entry(d.lookup(b"big").unwrap());
+        assert_eq!(blocks.len(), 1);
+    }
+
+    #[test]
+    fn out_of_space_is_reported() {
+        let a = arena();
+        let d = Domain::format(&a, 4); // 3 data blocks
+        assert!(d.plan_put(b"big", 4 * BLOCK_SIZE).is_err());
+        // Partial pops must not have leaked.
+        assert_eq!(d.pool_free(), 3);
+    }
+
+    #[test]
+    fn zero_size_object() {
+        let a = arena();
+        let d = domain(&a);
+        let p = d.plan_put(b"empty", 0).unwrap();
+        assert!(p.blocks.is_empty());
+        d.install_put(b"empty", 0, &p, 1);
+        let (size, _, blocks) = d.read_entry(d.lookup(b"empty").unwrap());
+        assert_eq!(size, 0);
+        assert!(blocks.is_empty());
+        d.plan_delete(b"empty").unwrap();
+        d.install_delete(b"empty");
+    }
+
+    /// The determinism property underpinning DIPPER: replaying the logged
+    /// operations on a fresh domain reproduces block assignments and
+    /// observable state exactly.
+    #[test]
+    fn replay_reproduces_frontend_state() {
+        use dstore_dipper::record::OwnedRecord;
+
+        let a1 = arena();
+        let front = domain(&a1);
+        let mut records: Vec<OwnedRecord> = vec![];
+        let mut lsn = 0u64;
+        let mut log_op = |op: u16, name: &[u8], params: Vec<u8>| {
+            lsn += 1;
+            OwnedRecord {
+                lsn,
+                op,
+                commit: dstore_dipper::COMMIT_COMMITTED,
+                name: name.to_vec(),
+                params,
+                off: 0,
+            }
+        };
+
+        // A busy little history: creates, touches, replaces, deletes,
+        // extends, across several objects.
+        for i in 0..40u64 {
+            let name = format!("obj{}", i % 7);
+            let size = (i % 5 + 1) * 3000;
+            let rec = log_op(ops::OP_PUT, name.as_bytes(), PutParams { size }.encode().to_vec());
+            let plan = front.plan_put(&rec.name, size).unwrap();
+            front.install_put(&rec.name, size, &plan, rec.lsn);
+            records.push(rec);
+            if i % 7 == 3 {
+                let (off, len) = (i * 1000, 9000);
+                let rec = log_op(
+                    ops::OP_EXTEND,
+                    name.as_bytes(),
+                    ExtendParams { offset: off, len }.encode().to_vec(),
+                );
+                let plan = front.plan_extend(&rec.name, off, len).unwrap();
+                front.install_extend(&rec.name, &plan, rec.lsn);
+                records.push(rec);
+            }
+            if i % 11 == 10 {
+                let rec = log_op(ops::OP_DELETE, name.as_bytes(), vec![]);
+                front.plan_delete(&rec.name).unwrap();
+                front.install_delete(&rec.name);
+                records.push(rec);
+            }
+        }
+
+        // Replay on a fresh domain.
+        let a2 = arena();
+        let shadow = domain(&a2);
+        for rec in &records {
+            shadow.replay(rec);
+        }
+
+        // Observable equivalence: same objects, same sizes, same block
+        // lists, same pool state.
+        assert_eq!(front.counters(), shadow.counters());
+        assert_eq!(front.pool_free(), shadow.pool_free());
+        let mut names = vec![];
+        front.btree().for_each(|k, _| names.push(k.to_vec()));
+        let mut shadow_names = vec![];
+        shadow.btree().for_each(|k, _| shadow_names.push(k.to_vec()));
+        assert_eq!(names, shadow_names);
+        for n in &names {
+            let fe = front.read_entry(front.lookup(n).unwrap());
+            let se = shadow.read_entry(shadow.lookup(n).unwrap());
+            assert_eq!(fe.0, se.0, "size of {}", String::from_utf8_lossy(n));
+            assert_eq!(fe.2, se.2, "blocks of {}", String::from_utf8_lossy(n));
+        }
+        // Pool contents in order must match too (future allocations
+        // diverge otherwise).
+        let pops_f: Vec<_> = (0..front.pool_free()).map(|_| front.pool_pop().unwrap()).collect();
+        let pops_s: Vec<_> = (0..shadow.pool_free()).map(|_| shadow.pool_pop().unwrap()).collect();
+        assert_eq!(pops_f, pops_s);
+    }
+
+    #[test]
+    fn physical_records_replay_equivalently() {
+        // Run a frontend history; encode it physically; replay on a fresh
+        // domain; states must match.
+        let a1 = arena();
+        let front = domain(&a1);
+        let mut records = vec![];
+        let mut lsn = 0u64;
+        for i in 0..20u64 {
+            lsn += 1;
+            let name = format!("p{}", i % 4);
+            let size = (i % 3 + 1) * 4096;
+            let plan = front.plan_put(name.as_bytes(), size).unwrap();
+            front.install_put(name.as_bytes(), size, &plan, lsn);
+            let img = PhysImage {
+                size,
+                blocks: plan.blocks.clone(),
+                pops: if plan.kind == PutKind::Touch { 0 } else { plan.blocks.len() as u32 },
+                pushes: plan.freed.clone(),
+            };
+            records.push(OwnedRecord {
+                lsn,
+                op: ops::OP_PHYS_INSTALL,
+                commit: dstore_dipper::COMMIT_COMMITTED,
+                name: name.into_bytes(),
+                params: img.encode(),
+                off: 0,
+            });
+        }
+        let a2 = arena();
+        let shadow = domain(&a2);
+        for r in &records {
+            shadow.replay(r);
+        }
+        assert_eq!(front.counters(), shadow.counters());
+        assert_eq!(front.pool_free(), shadow.pool_free());
+        for i in 0..4 {
+            let name = format!("p{i}");
+            let fe = front.read_entry(front.lookup(name.as_bytes()).unwrap());
+            let se = shadow.read_entry(shadow.lookup(name.as_bytes()).unwrap());
+            assert_eq!(fe.0, se.0);
+            assert_eq!(fe.2, se.2);
+        }
+    }
+
+    #[test]
+    fn domain_survives_region_copy() {
+        let a1 = arena();
+        let d1 = domain(&a1);
+        let p = d1.plan_put(b"persisted", 6000).unwrap();
+        d1.install_put(b"persisted", 6000, &p, 1);
+        let a2 = arena();
+        a1.copy_allocated_to(&a2);
+        let d2 = Domain::attach(&a2, d1.dir_ptr());
+        let (size, _, blocks) = d2.read_entry(d2.lookup(b"persisted").unwrap());
+        assert_eq!(size, 6000);
+        assert_eq!(blocks, p.blocks);
+        assert_eq!(d2.pool_free(), d1.pool_free());
+    }
+}

@@ -1,0 +1,360 @@
+//! The atomic quiescent-free checkpoint (§3.5).
+//!
+//! A checkpoint is triggered when the active log's free space falls below
+//! the configured threshold. It proceeds in two parts:
+//!
+//! 1. **Swap** — on the triggering thread, brief: the active and archived
+//!    logs exchange roles and the root's state word persists
+//!    `{active flipped, in-progress}` atomically. Frontend operation
+//!    resumes immediately.
+//! 2. **Apply** — on the dedicated checkpoint thread, overlapped with
+//!    frontend operation: copy the current shadow region onto the spare
+//!    one ("we always create a new copy of the shadow copies", for
+//!    idempotency), replay the archived log's *committed* records onto it
+//!    through the application-supplied [`Applier`] (the same code the
+//!    frontend runs), flush every allocated byte, and atomically persist
+//!    the root transition `{current shadow flipped, in-progress cleared}`.
+//!
+//! A crash anywhere before the final root store leaves the old shadow
+//! image current and the archived log intact — recovery simply redoes the
+//! checkpoint ([`apply_checkpoint`] is idempotent by construction).
+
+use crate::layout::PmemLayout;
+use crate::log::OpLog;
+use crate::record::OwnedRecord;
+use crate::root::Root;
+use dstore_arena::{Arena, PmemRange};
+use dstore_pmem::PmemPool;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Replays committed records onto the shadow structures in the given
+/// shadow region (0/1). Supplied by the application (DStore); must be
+/// deterministic up to observational equivalence given the records'
+/// conflict order, and may parallelize internally across non-conflicting
+/// records.
+pub type Applier = Arc<dyn Fn(usize, &[OwnedRecord]) + Send + Sync>;
+
+/// Checkpoint counters (Figure 7 diagnostics, Table 4 accounting).
+#[derive(Debug, Default)]
+pub struct CheckpointStats {
+    /// Checkpoints completed.
+    pub completed: AtomicU64,
+    /// Records replayed onto shadows.
+    pub records_applied: AtomicU64,
+    /// Bytes copied between shadow regions.
+    pub bytes_copied: AtomicU64,
+    /// Nanoseconds spent in the last checkpoint's apply phase.
+    pub last_apply_ns: AtomicU64,
+}
+
+enum Job {
+    Run { archived: usize },
+    Shutdown,
+}
+
+/// Owns the background checkpoint thread and the trigger state machine.
+pub struct Checkpointer {
+    inner: Arc<CheckpointInner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+struct CheckpointInner {
+    pool: Arc<PmemPool>,
+    layout: PmemLayout,
+    root: Arc<Root>,
+    log: Arc<OpLog>,
+    applier: Applier,
+    /// True from swap until the apply phase commits.
+    busy: Mutex<bool>,
+    cv: Condvar,
+    stats: CheckpointStats,
+    tx: Mutex<Option<crossbeam::channel::Sender<Job>>>,
+}
+
+impl Checkpointer {
+    /// Spawns the checkpoint thread.
+    pub fn new(
+        pool: Arc<PmemPool>,
+        layout: PmemLayout,
+        root: Arc<Root>,
+        log: Arc<OpLog>,
+        applier: Applier,
+    ) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let inner = Arc::new(CheckpointInner {
+            pool,
+            layout,
+            root,
+            log,
+            applier,
+            busy: Mutex::new(false),
+            cv: Condvar::new(),
+            stats: CheckpointStats::default(),
+            tx: Mutex::new(Some(tx)),
+        });
+        let w_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("dipper-checkpoint".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Run { archived } => {
+                            // A panic here must not strand the store with
+                            // `busy` stuck true (frontends would hang on
+                            // backpressure forever); surface it loudly and
+                            // release the state machine.
+                            let r = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| w_inner.run_apply(archived)),
+                            );
+                            let mut busy = w_inner.busy.lock();
+                            *busy = false;
+                            w_inner.cv.notify_all();
+                            drop(busy);
+                            if let Err(e) = r {
+                                eprintln!("dipper checkpoint apply panicked: {e:?}");
+                            }
+                        }
+                        Job::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn checkpoint thread");
+        Self {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CheckpointStats {
+        &self.inner.stats
+    }
+
+    /// Whether a checkpoint is currently running.
+    pub fn is_busy(&self) -> bool {
+        *self.inner.busy.lock()
+    }
+
+    /// Starts a checkpoint if none is running; returns whether one was
+    /// started. The swap happens on the calling thread (brief); the apply
+    /// phase runs on the background thread.
+    pub fn try_begin(&self) -> bool {
+        {
+            let mut busy = self.inner.busy.lock();
+            if *busy {
+                return false;
+            }
+            *busy = true;
+        }
+        // If the root says a checkpoint is in flight that nobody is
+        // running (crash-injection hooks, or recovery handing over a
+        // store mid-checkpoint), complete it first — swapping now would
+        // recycle the archived log and lose its records.
+        let st = self.inner.root.state();
+        if st.checkpoint_in_progress {
+            self.inner.run_apply(st.archived_log());
+        }
+        let archived = self.inner.log.swap(|| {
+            self.inner.root.begin_checkpoint();
+        });
+        let tx = self.inner.tx.lock();
+        tx.as_ref()
+            .expect("checkpointer shut down")
+            .send(Job::Run { archived })
+            .expect("checkpoint worker gone");
+        true
+    }
+
+    /// Starts a checkpoint, waiting for any running one to finish first —
+    /// the backpressure path taken when the log fills completely (the
+    /// paper: workloads beyond ~70 % writes "lead to backlogging", §5.3).
+    pub fn begin_blocking(&self) {
+        loop {
+            {
+                let mut busy = self.inner.busy.lock();
+                while *busy {
+                    self.inner.cv.wait(&mut busy);
+                }
+            }
+            if self.try_begin() {
+                return;
+            }
+        }
+    }
+
+    /// Blocks until no checkpoint is running.
+    pub fn wait_idle(&self) {
+        let mut busy = self.inner.busy.lock();
+        while *busy {
+            self.inner.cv.wait(&mut busy);
+        }
+    }
+
+    /// Runs one full checkpoint synchronously (swap + apply on the calling
+    /// thread). Used by tests and shutdown flushes.
+    pub fn run_inline(&self) {
+        self.begin_blocking();
+        self.wait_idle();
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.wait_idle();
+        if let Some(tx) = self.inner.tx.lock().take() {
+            let _ = tx.send(Job::Shutdown);
+        }
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl CheckpointInner {
+    fn run_apply(&self, archived: usize) {
+        let records = self.log.committed_records(archived);
+        apply_checkpoint(
+            &self.pool,
+            &self.layout,
+            &self.root,
+            &self.applier,
+            &records,
+            &self.stats,
+        );
+    }
+}
+
+/// The apply phase, shared by live checkpoints and recovery redo (§3.6:
+/// "we redo the checkpoint procedure ongoing at the time of crash").
+///
+/// Copies shadow `current` → `spare`, replays `records` onto the spare
+/// via `applier`, persists every allocated byte, and atomically commits
+/// the root transition.
+pub fn apply_checkpoint(
+    pool: &Arc<PmemPool>,
+    layout: &PmemLayout,
+    root: &Root,
+    applier: &Applier,
+    records: &[OwnedRecord],
+    stats: &CheckpointStats,
+) {
+    let t0 = Instant::now();
+    let state = root.state();
+    let cur = state.current_shadow;
+    let spare = state.spare_shadow();
+
+    // 1. New copy of the shadow copies (idempotency): bulk copy of the
+    //    allocated prefix at identical offsets — RelPtrs stay valid.
+    let src = Arena::attach(PmemRange::new(
+        Arc::clone(pool),
+        layout.shadow[cur],
+        layout.shadow_size,
+    ))
+    .expect("current shadow holds a valid arena");
+    let dst_range = PmemRange::new(Arc::clone(pool), layout.shadow[spare], layout.shadow_size);
+    let copy_len = src.allocated_len();
+    pool.bulk_read_charge(copy_len); // reading the source region
+    // SAFETY: both regions are `shadow_size` bytes and disjoint.
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            pool.base().add(layout.shadow[cur]),
+            pool.base().add(layout.shadow[spare]),
+            copy_len,
+        );
+    }
+    stats.bytes_copied.fetch_add(copy_len as u64, Ordering::Relaxed);
+
+    // 2. Replay committed records with the same code the frontend ran.
+    applier(spare, records);
+    stats
+        .records_applied
+        .fetch_add(records.len() as u64, Ordering::Relaxed);
+
+    // 3. Durability: iterate over all allocated memory and flush it.
+    let dst = Arena::attach(dst_range).expect("copied shadow is a valid arena");
+    dst.persist_allocated();
+
+    // 4. Atomic commit: flip current shadow, clear in-progress — one
+    //    persisted 8-byte store.
+    root.commit_checkpoint();
+    let _ = pool.sync_backing_file();
+
+    stats.completed.fetch_add(1, Ordering::Relaxed);
+    stats
+        .last_apply_ns
+        .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Groups records by object-name hash for OE-parallel replay: records on
+/// distinct objects commute (§3.7), so each group can be applied on its
+/// own thread while order *within* a group (same object, possibly via
+/// hash collision) is preserved.
+pub fn group_by_object(records: &[OwnedRecord], groups: usize) -> Vec<Vec<&OwnedRecord>> {
+    let groups = groups.max(1);
+    let mut out: Vec<Vec<&OwnedRecord>> = (0..groups).map(|_| Vec::new()).collect();
+    for r in records {
+        let g = (crate::record::name_hash(&r.name) as usize) % groups;
+        out[g].push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::name_hash;
+
+    fn rec(name: &str, lsn: u64) -> OwnedRecord {
+        OwnedRecord {
+            lsn,
+            op: 1,
+            commit: crate::record::COMMIT_COMMITTED,
+            name: name.as_bytes().to_vec(),
+            params: vec![],
+            off: 0,
+        }
+    }
+
+    #[test]
+    fn grouping_preserves_per_object_order() {
+        let records: Vec<OwnedRecord> = (0..100)
+            .map(|i| rec(&format!("obj{}", i % 7), i + 1))
+            .collect();
+        let groups = group_by_object(&records, 4);
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), 100);
+        for g in &groups {
+            // Same-object records stay in LSN (conflict) order.
+            let mut last: std::collections::HashMap<&[u8], u64> = Default::default();
+            for r in g {
+                if let Some(&prev) = last.get(r.name.as_slice()) {
+                    assert!(r.lsn > prev, "order violated within group");
+                }
+                last.insert(&r.name, r.lsn);
+            }
+        }
+        // All records of one object land in one group.
+        for i in 0..7 {
+            let name = format!("obj{i}");
+            let g = (name_hash(name.as_bytes()) as usize) % 4;
+            for (gi, grp) in groups.iter().enumerate() {
+                let here = grp.iter().filter(|r| r.name == name.as_bytes()).count();
+                if gi == g {
+                    assert!(here > 0);
+                } else {
+                    assert_eq!(here, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_handles_degenerate_group_counts() {
+        let records = vec![rec("a", 1), rec("b", 2)];
+        assert_eq!(group_by_object(&records, 0).len(), 1);
+        let g = group_by_object(&records, 16);
+        assert_eq!(g.iter().map(|v| v.len()).sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Read-write concurrency control: the read-count table.
+//!
+//! "Since read requests are not added to the log, read-write request
+//! conflicts can still occur. For resolving read-write concurrency, we
+//! introduce a new in-memory hash table that maps object names to their
+//! current read count. The read count is updated using the atomic
+//! fetch-and-add instruction … In case the read count is non-zero, we
+//! simply poll on it until it is zero." (§4.4)
+//!
+//! The table is sharded to keep the map locks off the hot path: the shard
+//! lock is only held to find/insert the counter; the count itself is a
+//! shared atomic updated lock-free.
+
+use crate::fnv1a;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of shards (power of two).
+const SHARDS: usize = 64;
+
+/// Sharded object-name → read-count table.
+pub struct ReadCounts {
+    shards: Vec<Mutex<HashMap<Vec<u8>, Arc<AtomicU64>>>>,
+}
+
+impl Default for ReadCounts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadCounts {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, name: &[u8]) -> &Mutex<HashMap<Vec<u8>, Arc<AtomicU64>>> {
+        &self.shards[(fnv1a(name) as usize) & (SHARDS - 1)]
+    }
+
+    fn counter(&self, name: &[u8]) -> Arc<AtomicU64> {
+        let mut shard = self.shard(name).lock();
+        if let Some(c) = shard.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        shard.insert(name.to_vec(), Arc::clone(&c));
+        c
+    }
+
+    /// Registers a reader of `name` (atomic fetch-and-add). The returned
+    /// guard decrements the count when dropped.
+    pub fn begin_read(&self, name: &[u8]) -> ReadGuard {
+        let counter = self.counter(name);
+        counter.fetch_add(1, Ordering::AcqRel);
+        ReadGuard { counter }
+    }
+
+    /// Current read count for `name`.
+    pub fn read_count(&self, name: &[u8]) -> u64 {
+        let shard = self.shard(name).lock();
+        shard
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Acquire))
+    }
+
+    /// Spins until no reader holds `name` — the writer-side poll.
+    pub fn wait_for_readers(&self, name: &[u8]) {
+        let counter = {
+            let shard = self.shard(name).lock();
+            match shard.get(name) {
+                Some(c) => Arc::clone(c),
+                None => return,
+            }
+        };
+        let t = std::time::Instant::now();
+        while counter.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+            // Deadlock detector: readers hold their count for one op only.
+            if t.elapsed().as_secs() > 30 {
+                panic!(
+                    "wait_for_readers stalled >30s on {:?} — leaked ReadGuard?",
+                    String::from_utf8_lossy(name)
+                );
+            }
+        }
+    }
+
+    /// Drops zero-count entries (housekeeping; bounds table growth under
+    /// churny key sets).
+    pub fn prune(&self) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .retain(|_, c| c.load(Ordering::Acquire) != 0 || Arc::strong_count(c) > 1);
+        }
+    }
+
+    /// Number of tracked names (all shards).
+    pub fn tracked(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// RAII reader registration; decrements the read count on drop.
+pub struct ReadGuard {
+    counter: Arc<AtomicU64>,
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn guard_increments_and_decrements() {
+        let rc = ReadCounts::new();
+        assert_eq!(rc.read_count(b"obj"), 0);
+        let g1 = rc.begin_read(b"obj");
+        let g2 = rc.begin_read(b"obj");
+        assert_eq!(rc.read_count(b"obj"), 2);
+        drop(g1);
+        assert_eq!(rc.read_count(b"obj"), 1);
+        drop(g2);
+        assert_eq!(rc.read_count(b"obj"), 0);
+    }
+
+    #[test]
+    fn distinct_names_are_independent() {
+        let rc = ReadCounts::new();
+        let _g = rc.begin_read(b"a");
+        assert_eq!(rc.read_count(b"a"), 1);
+        assert_eq!(rc.read_count(b"b"), 0);
+        // A writer to "b" does not wait.
+        rc.wait_for_readers(b"b");
+    }
+
+    #[test]
+    fn writer_waits_until_reader_finishes() {
+        use std::sync::Arc as StdArc;
+        let rc = StdArc::new(ReadCounts::new());
+        let g = rc.begin_read(b"hot");
+        let rc2 = StdArc::clone(&rc);
+        let waiter = std::thread::spawn(move || {
+            rc2.wait_for_readers(b"hot");
+            std::time::Instant::now()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let released = std::time::Instant::now();
+        drop(g);
+        let woke = waiter.join().unwrap();
+        assert!(woke >= released, "writer returned before reader released");
+    }
+
+    #[test]
+    fn prune_drops_idle_entries() {
+        let rc = ReadCounts::new();
+        {
+            let _g = rc.begin_read(b"temp");
+        }
+        assert_eq!(rc.tracked(), 1);
+        rc.prune();
+        assert_eq!(rc.tracked(), 0);
+        // Active entries survive pruning.
+        let _g = rc.begin_read(b"live");
+        rc.prune();
+        assert_eq!(rc.tracked(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_count_correctly() {
+        use std::sync::Arc as StdArc;
+        let rc = StdArc::new(ReadCounts::new());
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let rc = StdArc::clone(&rc);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let _g = rc.begin_read(b"contended");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rc.read_count(b"contended"), 0);
+    }
+}

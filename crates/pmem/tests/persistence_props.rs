@@ -1,0 +1,138 @@
+//! Property tests for the cache-line persistence simulator.
+//!
+//! Invariant: after any interleaving of writes, flushes, fences, spurious
+//! evictions, and a crash, every byte of the volatile view equals either
+//! (a) the last value persisted for its cache line, or (b) for never-
+//! persisted lines, zero — and persisted state is always a prefix-consistent
+//! outcome of the operations applied.
+
+use dstore_pmem::{PmemPool, CACHE_LINE};
+use proptest::prelude::*;
+
+const POOL: usize = 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { off: usize, val: u8, len: usize },
+    Flush { off: usize, len: usize },
+    Fence,
+    Evict { off: usize, len: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..POOL - 64, any::<u8>(), 1..64usize)
+            .prop_map(|(off, val, len)| Op::Write { off, val, len }),
+        (0..POOL - 64, 1..64usize).prop_map(|(off, len)| Op::Flush { off, len }),
+        Just(Op::Fence),
+        (0..POOL - 64, 1..64usize).prop_map(|(off, len)| Op::Evict { off, len }),
+    ]
+}
+
+/// Reference model: volatile bytes, persistent bytes, pending line set.
+struct Model {
+    volatile: Vec<u8>,
+    persistent: Vec<u8>,
+    pending: Vec<(usize, usize)>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Self {
+            volatile: vec![0; POOL],
+            persistent: vec![0; POOL],
+            pending: vec![],
+        }
+    }
+
+    fn line_range(off: usize, len: usize) -> (usize, usize) {
+        let start = off & !(CACHE_LINE - 1);
+        let end = (off + len + CACHE_LINE - 1) & !(CACHE_LINE - 1);
+        (start, end)
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Write { off, val, len } => {
+                for b in &mut self.volatile[off..off + len] {
+                    *b = val;
+                }
+            }
+            Op::Flush { off, len } => {
+                self.pending.push(Self::line_range(off, len));
+            }
+            Op::Fence => {
+                for (s, e) in std::mem::take(&mut self.pending) {
+                    self.persistent[s..e].copy_from_slice(&self.volatile[s..e]);
+                }
+            }
+            Op::Evict { off, len } => {
+                let (s, e) = Self::line_range(off, len);
+                self.persistent[s..e].copy_from_slice(&self.volatile[s..e]);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pool's crash semantics match the byte-level reference model for
+    /// arbitrary op sequences.
+    #[test]
+    fn crash_state_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let pool = PmemPool::strict(POOL);
+        let mut model = Model::new();
+        for op in &ops {
+            match *op {
+                Op::Write { off, val, len } => pool.write_bytes(off, &vec![val; len]),
+                Op::Flush { off, len } => pool.flush(off, len),
+                Op::Fence => pool.fence(),
+                Op::Evict { off, len } => pool.evict_lines(off, len),
+            }
+            model.apply(op);
+        }
+        pool.simulate_crash();
+        let mut got = vec![0u8; POOL];
+        pool.read_bytes(0, &mut got);
+        prop_assert_eq!(got, model.persistent);
+    }
+
+    /// Persist (flush+fence) of a range always makes exactly that range's
+    /// lines durable; untouched regions stay zero after crash.
+    #[test]
+    fn persist_is_complete_and_contained(
+        off in 0usize..POOL - 128,
+        len in 1usize..128,
+        pattern in any::<u8>(),
+    ) {
+        let pool = PmemPool::strict(POOL);
+        pool.write_bytes(off, &vec![pattern.wrapping_add(1); len]);
+        pool.persist(off, len);
+        pool.simulate_crash();
+        let mut got = vec![0u8; len];
+        pool.read_bytes(off, &mut got);
+        prop_assert!(got.iter().all(|&b| b == pattern.wrapping_add(1)));
+    }
+
+    /// Double crash is idempotent: crashing twice yields the same state.
+    #[test]
+    fn crash_is_idempotent(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let pool = PmemPool::strict(POOL);
+        for op in &ops {
+            match *op {
+                Op::Write { off, val, len } => pool.write_bytes(off, &vec![val; len]),
+                Op::Flush { off, len } => pool.flush(off, len),
+                Op::Fence => pool.fence(),
+                Op::Evict { off, len } => pool.evict_lines(off, len),
+            }
+        }
+        pool.simulate_crash();
+        let mut first = vec![0u8; POOL];
+        pool.read_bytes(0, &mut first);
+        pool.simulate_crash();
+        let mut second = vec![0u8; POOL];
+        pool.read_bytes(0, &mut second);
+        prop_assert_eq!(first, second);
+    }
+}

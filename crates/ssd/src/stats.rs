@@ -1,0 +1,90 @@
+//! SSD traffic counters (Figure 7's SSD bandwidth timeline).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative traffic counters for one emulated SSD.
+#[derive(Debug, Default)]
+pub struct SsdStats {
+    /// Bytes written to the device.
+    pub write_bytes: AtomicU64,
+    /// Write commands issued.
+    pub write_ops: AtomicU64,
+    /// Bytes read from the device.
+    pub read_bytes: AtomicU64,
+    /// Read commands issued.
+    pub read_ops: AtomicU64,
+}
+
+/// A point-in-time copy of [`SsdStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SsdSnapshot {
+    /// Bytes written to the device.
+    pub write_bytes: u64,
+    /// Write commands issued.
+    pub write_ops: u64,
+    /// Bytes read from the device.
+    pub read_bytes: u64,
+    /// Read commands issued.
+    pub read_ops: u64,
+}
+
+impl SsdStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot for timeline sampling.
+    pub fn snapshot(&self) -> SsdSnapshot {
+        SsdSnapshot {
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl SsdSnapshot {
+    /// Bytes written between `earlier` and `self`.
+    pub fn write_bytes_since(&self, earlier: &SsdSnapshot) -> u64 {
+        self.write_bytes.saturating_sub(earlier.write_bytes)
+    }
+
+    /// Bytes read between `earlier` and `self`.
+    pub fn read_bytes_since(&self, earlier: &SsdSnapshot) -> u64 {
+        self.read_bytes.saturating_sub(earlier.read_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let s = SsdStats::new();
+        s.record_write(4096);
+        let a = s.snapshot();
+        s.record_write(4096);
+        s.record_read(8192);
+        let b = s.snapshot();
+        assert_eq!(a.write_bytes, 4096);
+        assert_eq!(b.write_ops, 2);
+        assert_eq!(b.write_bytes_since(&a), 4096);
+        assert_eq!(b.read_bytes_since(&a), 8192);
+        assert_eq!(a.write_bytes_since(&b), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Interval sampling for Figure 7's throughput/bandwidth timelines.
+
+use std::time::{Duration, Instant};
+
+/// One sampled interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// Interval end, seconds since the run started.
+    pub t_secs: f64,
+    /// Operations completed in this interval, per second.
+    pub ops_per_sec: f64,
+    /// SSD bytes written in this interval, per second.
+    pub ssd_write_bps: f64,
+    /// SSD bytes read in this interval, per second.
+    pub ssd_read_bps: f64,
+    /// PMEM bytes written in this interval, per second.
+    pub pmem_write_bps: f64,
+}
+
+/// Collects throughput/bandwidth samples at a fixed interval by
+/// differencing monotonic counters supplied by a probe closure.
+pub struct Timeline {
+    interval: Duration,
+    samples: Vec<TimelineSample>,
+}
+
+/// Counter snapshot fed to the timeline: `(ops, ssd_write_bytes,
+/// ssd_read_bytes, pmem_write_bytes)`.
+pub type Counters = (u64, u64, u64, u64);
+
+impl Timeline {
+    /// New timeline with the given sampling interval.
+    pub fn new(interval: Duration) -> Self {
+        Self {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Runs the sampler for `duration`, polling `probe` each interval.
+    /// Blocks the calling thread (run it on a dedicated sampler thread or
+    /// let the workload run on others).
+    pub fn sample_for(&mut self, duration: Duration, mut probe: impl FnMut() -> Counters) {
+        let start = Instant::now();
+        let mut last = probe();
+        let mut last_t = Duration::ZERO;
+        while start.elapsed() < duration {
+            std::thread::sleep(self.interval.min(duration - start.elapsed()));
+            let now = probe();
+            let t = start.elapsed();
+            let dt = (t - last_t).as_secs_f64().max(1e-9);
+            self.samples.push(TimelineSample {
+                t_secs: t.as_secs_f64(),
+                ops_per_sec: (now.0 - last.0) as f64 / dt,
+                ssd_write_bps: (now.1 - last.1) as f64 / dt,
+                ssd_read_bps: (now.2 - last.2) as f64 / dt,
+                pmem_write_bps: (now.3 - last.3) as f64 / dt,
+            });
+            last = now;
+            last_t = t;
+        }
+    }
+
+    /// The collected samples.
+    pub fn samples(&self) -> &[TimelineSample] {
+        &self.samples
+    }
+
+    /// Lowest per-interval throughput — the paper's *throughput SLO*
+    /// ("the worst case values we obtained", Table 5).
+    pub fn min_ops_per_sec(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.ops_per_sec)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean throughput across intervals.
+    pub fn mean_ops_per_sec(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.ops_per_sec).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Whether throughput ever reached zero (quiescence violation).
+    pub fn fully_quiesced(&self) -> bool {
+        self.samples.iter().any(|s| s.ops_per_sec == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn samples_reflect_counter_rates() {
+        let ops = Arc::new(AtomicU64::new(0));
+        let ops2 = Arc::clone(&ops);
+        let worker = std::thread::spawn(move || {
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_millis(220) {
+                ops2.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        let mut tl = Timeline::new(Duration::from_millis(50));
+        tl.sample_for(Duration::from_millis(200), || {
+            (ops.load(Ordering::Relaxed), 0, 0, 0)
+        });
+        worker.join().unwrap();
+        assert!(tl.samples().len() >= 3);
+        assert!(tl.mean_ops_per_sec() > 1000.0, "{}", tl.mean_ops_per_sec());
+        assert!(tl.min_ops_per_sec() > 0.0);
+        assert!(!tl.fully_quiesced());
+    }
+
+    #[test]
+    fn idle_counters_mean_quiescence() {
+        let mut tl = Timeline::new(Duration::from_millis(20));
+        tl.sample_for(Duration::from_millis(60), || (0, 0, 0, 0));
+        assert!(tl.fully_quiesced());
+        assert_eq!(tl.min_ops_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! YCSB-style workload definitions.
+//!
+//! The paper evaluates with "YCSB workloads A (50 % read, 50 % write) and
+//! B (95 % read, 5 % write)" at 4 KB operation size (§5.1–§5.2). Keys are
+//! drawn from a scrambled-zipfian distribution over a preloaded key
+//! space; writes are whole-object updates.
+
+use crate::zipfian::ScrambledZipfian;
+use rand::Rng;
+
+/// The standard workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// 50 % read, 50 % update.
+    A,
+    /// 95 % read, 5 % update.
+    B,
+    /// Custom read fraction (percent).
+    Custom(u8),
+}
+
+impl WorkloadKind {
+    /// Read percentage of the mix.
+    pub fn read_percent(self) -> u8 {
+        match self {
+            WorkloadKind::A => 50,
+            WorkloadKind::B => 95,
+            WorkloadKind::Custom(p) => p.min(100),
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Read the object.
+    Read {
+        /// Object name.
+        key: Vec<u8>,
+    },
+    /// Overwrite the object with `value_size` fresh bytes.
+    Update {
+        /// Object name.
+        key: Vec<u8>,
+        /// Bytes to write.
+        value_size: usize,
+    },
+}
+
+/// A workload generator bound to a key space.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    kind: WorkloadKind,
+    keys: u64,
+    value_size: usize,
+    zipf: ScrambledZipfian,
+}
+
+impl Workload {
+    /// Creates a workload over `keys` preloaded objects of `value_size`
+    /// bytes (the paper uses 4 KB).
+    pub fn new(kind: WorkloadKind, keys: u64, value_size: usize) -> Self {
+        Self {
+            kind,
+            keys,
+            value_size,
+            zipf: ScrambledZipfian::new(keys),
+        }
+    }
+
+    /// The key-space size.
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// The value size.
+    pub fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    /// The canonical name of key `i` (shared by loaders and generators).
+    pub fn key_name(i: u64) -> Vec<u8> {
+        format!("user{i:012}").into_bytes()
+    }
+
+    /// All names for preloading the store.
+    pub fn load_keys(&self) -> impl Iterator<Item = Vec<u8>> + '_ {
+        (0..self.keys).map(Self::key_name)
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&self, rng: &mut impl Rng) -> YcsbOp {
+        let key = Self::key_name(self.zipf.next(rng));
+        if rng.gen_range(0..100) < self.kind.read_percent() {
+            YcsbOp::Read { key }
+        } else {
+            YcsbOp::Update {
+                key,
+                value_size: self.value_size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        for (kind, expect) in [
+            (WorkloadKind::A, 0.50),
+            (WorkloadKind::B, 0.95),
+            (WorkloadKind::Custom(70), 0.70),
+        ] {
+            let w = Workload::new(kind, 1000, 4096);
+            let mut rng = StdRng::seed_from_u64(11);
+            let n = 50_000;
+            let reads = (0..n)
+                .filter(|_| matches!(w.next_op(&mut rng), YcsbOp::Read { .. }))
+                .count();
+            let frac = reads as f64 / n as f64;
+            assert!(
+                (frac - expect).abs() < 0.02,
+                "{kind:?}: read fraction {frac}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_are_canonical_and_in_range() {
+        let w = Workload::new(WorkloadKind::A, 500, 4096);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let key = match w.next_op(&mut rng) {
+                YcsbOp::Read { key } | YcsbOp::Update { key, .. } => key,
+            };
+            let s = String::from_utf8(key).unwrap();
+            let id: u64 = s.strip_prefix("user").unwrap().parse().unwrap();
+            assert!(id < 500);
+        }
+        assert_eq!(w.load_keys().count(), 500);
+        assert_eq!(Workload::key_name(7), b"user000000000007".to_vec());
+    }
+
+    #[test]
+    fn updates_carry_value_size() {
+        let w = Workload::new(WorkloadKind::Custom(0), 10, 8192);
+        let mut rng = StdRng::seed_from_u64(2);
+        match w.next_op(&mut rng) {
+            YcsbOp::Update { value_size, .. } => assert_eq!(value_size, 8192),
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Store inspector: dumps a live store's internals — the kind of
+//! operational tool a production deployment grows. Exercises the
+//! introspection surface of every layer (root state, log stats,
+//! checkpoint stats, arena usage, object index).
+//!
+//! ```text
+//! cargo run --release --example inspect
+//! ```
+
+use dstore::{DStore, DStoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Build a store with some history: loads, updates, deletes, and a
+    // couple of checkpoints.
+    let cfg = DStoreConfig {
+        log_size: 256 << 10,
+        ssd_pages: 16 * 1024,
+        ..Default::default()
+    };
+    let store = DStore::create(cfg).expect("create");
+    let ctx = store.context();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..2000u32 {
+        let key = format!("tenant{}/obj{:04}", i % 3, rng.gen_range(0..500));
+        let size = rng.gen_range(64..6000);
+        ctx.put(key.as_bytes(), &vec![(i % 251) as u8; size]).unwrap();
+        if i % 17 == 0 {
+            let victim = format!("tenant{}/obj{:04}", i % 3, rng.gen_range(0..500));
+            let _ = ctx.delete(victim.as_bytes());
+        }
+    }
+    store.wait_checkpoint_idle();
+
+    println!("=== dstore inspect ===\n");
+
+    // Object index.
+    let names = ctx.list();
+    println!("objects: {}", names.len());
+    let mut per_tenant = std::collections::BTreeMap::new();
+    let mut total_bytes = 0u64;
+    for n in &names {
+        let size = ctx.size_of(n).unwrap();
+        total_bytes += size;
+        let tenant = n.split(|&b| b == b'/').next().unwrap().to_vec();
+        let e = per_tenant.entry(tenant).or_insert((0u64, 0u64));
+        e.0 += 1;
+        e.1 += size;
+    }
+    for (tenant, (count, bytes)) in &per_tenant {
+        println!(
+            "  {:<10} {:>5} objects {:>10} bytes",
+            String::from_utf8_lossy(tenant),
+            count,
+            bytes
+        );
+    }
+    println!("  {:<10} {:>5} objects {:>10} bytes (logical)\n", "total", names.len(), total_bytes);
+
+    // Footprint across the storage tiers.
+    let f = store.footprint();
+    println!("footprint:");
+    println!("  DRAM  (system space)      {:>12} B", f.dram_bytes);
+    println!("  PMEM  (logs + shadows)    {:>12} B", f.pmem_bytes);
+    println!("  SSD   (data blocks)       {:>12} B", f.ssd_bytes);
+    println!("  space amplification       {:>12.2}x\n", f.amplification());
+
+    // Checkpoint machinery.
+    if let Some(c) = store.checkpoint_stats() {
+        println!("checkpoints:");
+        println!("  completed                 {:>12}", c.completed.into_inner());
+        println!("  records applied           {:>12}", c.records_applied.into_inner());
+        println!("  shadow bytes copied       {:>12}", c.bytes_copied.into_inner());
+        println!(
+            "  last apply duration       {:>12.2} ms\n",
+            c.last_apply_ns.into_inner() as f64 / 1e6
+        );
+    }
+
+    // Device traffic.
+    let p = store.pmem().stats().snapshot();
+    let s = store.ssd().stats().snapshot();
+    println!("device traffic:");
+    println!("  PMEM flushes              {:>12} ({} B)", p.flush_ops, p.flush_bytes);
+    println!("  PMEM fences               {:>12}", p.fences);
+    println!("  PMEM bulk writes          {:>12} B", p.bulk_write_bytes);
+    println!("  SSD writes                {:>12} ({} B)", s.write_ops, s.write_bytes);
+    println!("  SSD reads                 {:>12} ({} B)\n", s.read_ops, s.read_bytes);
+
+    // Operation counters.
+    use std::sync::atomic::Ordering;
+    let st = store.stats();
+    println!("operations:");
+    println!("  puts                      {:>12}", st.puts.load(Ordering::Relaxed));
+    println!("  deletes                   {:>12}", st.deletes.load(Ordering::Relaxed));
+    println!("  ww conflicts retried      {:>12}", st.ww_conflicts.load(Ordering::Relaxed));
+    println!("  reader backoffs           {:>12}", st.rw_backoffs.load(Ordering::Relaxed));
+    println!("  log-full stalls           {:>12}", st.log_full_stalls.load(Ordering::Relaxed));
+}

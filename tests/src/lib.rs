@@ -1,0 +1,1 @@
+//! Integration test package for the DStore workspace.
