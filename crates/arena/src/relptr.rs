@@ -183,6 +183,9 @@ mod tests {
     #[test]
     fn debug_formatting() {
         assert_eq!(format!("{:?}", RelPtr::<u8>::null()), "RelPtr(null)");
-        assert_eq!(format!("{:?}", RelPtr::<u8>::from_offset(16)), "RelPtr(+0x10)");
+        assert_eq!(
+            format!("{:?}", RelPtr::<u8>::from_offset(16)),
+            "RelPtr(+0x10)"
+        );
     }
 }

@@ -379,9 +379,15 @@ mod tests {
         assert_eq!(Arena::<DramMemory>::class_of(16), 0);
         assert_eq!(Arena::<DramMemory>::class_of(17), 1);
         assert_eq!(Arena::<DramMemory>::class_of(32), 1);
-        assert_eq!(Arena::<DramMemory>::class_of(MAX_CLASS_SIZE), NUM_CLASSES - 1);
+        assert_eq!(
+            Arena::<DramMemory>::class_of(MAX_CLASS_SIZE),
+            NUM_CLASSES - 1
+        );
         assert_eq!(Arena::<DramMemory>::class_size(0), 16);
-        assert_eq!(Arena::<DramMemory>::class_size(NUM_CLASSES - 1), MAX_CLASS_SIZE);
+        assert_eq!(
+            Arena::<DramMemory>::class_size(NUM_CLASSES - 1),
+            MAX_CLASS_SIZE
+        );
     }
 
     #[test]
@@ -513,11 +519,7 @@ mod tests {
         let re_mem = DramMemory::new(1 << 16);
         // SAFETY: bulk copy of the full region.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                src.memory().base(),
-                re_mem.base(),
-                src.allocated_len(),
-            );
+            std::ptr::copy_nonoverlapping(src.memory().base(), re_mem.base(), src.allocated_len());
         }
         let re = Arena::attach(re_mem).expect("valid header");
         // SAFETY: slice live in the attached region.
@@ -567,9 +569,7 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let a = Arc::clone(&a);
-                std::thread::spawn(move || {
-                    (0..256).map(|_| a.alloc_block(48)).collect::<Vec<_>>()
-                })
+                std::thread::spawn(move || (0..256).map(|_| a.alloc_block(48)).collect::<Vec<_>>())
             })
             .collect();
         let mut seen = HashSet::new();

@@ -46,7 +46,12 @@ impl FsKind {
 
     /// All kinds, in the paper's figure order.
     pub fn all() -> [FsKind; 4] {
-        [FsKind::DStore, FsKind::Nova, FsKind::XfsDax, FsKind::Ext4Dax]
+        [
+            FsKind::DStore,
+            FsKind::Nova,
+            FsKind::XfsDax,
+            FsKind::Ext4Dax,
+        ]
     }
 }
 

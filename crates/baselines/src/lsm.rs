@@ -150,8 +150,10 @@ impl LsmStore {
         // header plus payload and persist it.
         self.pool.write_bytes(off, &(len as u64).to_le_bytes());
         self.pool.write_bytes(off + 8, &key[..key.len().min(256)]);
-        self.pool
-            .write_bytes(off + 8 + key.len().min(256), &value[..value.len().min(8192)]);
+        self.pool.write_bytes(
+            off + 8 + key.len().min(256),
+            &value[..value.len().min(8192)],
+        );
         self.pool.persist(off, len.min(WAL_SIZE - off));
     }
 
@@ -252,10 +254,7 @@ impl LsmStore {
         }
     }
 
-    fn build_run(
-        &self,
-        entries: impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)>,
-    ) -> Run {
+    fn build_run(&self, entries: impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)>) -> Run {
         let mut index = BTreeMap::new();
         let mut pages = Vec::new();
         for (k, v) in entries {

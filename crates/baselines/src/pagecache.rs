@@ -114,8 +114,10 @@ impl PageCacheBTree {
         drop(tail);
         self.pool.write_bytes(off, &(len as u64).to_le_bytes());
         self.pool.write_bytes(off + 8, &key[..key.len().min(256)]);
-        self.pool
-            .write_bytes(off + 8 + key.len().min(256), &value[..value.len().min(8192)]);
+        self.pool.write_bytes(
+            off + 8 + key.len().min(256),
+            &value[..value.len().min(8192)],
+        );
         self.pool.persist(off, len.min(JOURNAL_SIZE - off));
     }
 

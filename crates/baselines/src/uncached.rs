@@ -181,8 +181,7 @@ impl KvSystem for UncachedStore {
 
         if let Some((old_off, old_len)) = old {
             self.free_block(old_off, old_len.max(1));
-            self.live_bytes
-                .fetch_sub(old_len as u64, Ordering::Relaxed);
+            self.live_bytes.fetch_sub(old_len as u64, Ordering::Relaxed);
         }
         self.live_bytes
             .fetch_add(value.len() as u64, Ordering::Relaxed);

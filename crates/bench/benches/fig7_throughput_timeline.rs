@@ -23,8 +23,15 @@ fn run_one(name: &str, sys: &dyn KvSystem, probe: DeviceProbe, keys: usize, wind
     let mut timeline = Timeline::new(Duration::from_millis(500));
     std::thread::scope(|s| {
         let c = &counting;
-        let worker =
-            s.spawn(move || run_ycsb(c, WorkloadKind::A, keys, window + Duration::from_millis(200), threads));
+        let worker = s.spawn(move || {
+            run_ycsb(
+                c,
+                WorkloadKind::A,
+                keys,
+                window + Duration::from_millis(200),
+                threads,
+            )
+        });
         timeline.sample_for(window, || probe.counters(&counting.ops));
         let _ = worker.join();
     });
@@ -56,7 +63,10 @@ fn main() {
     let keys = count(DEFAULT_KEYS);
     let window = secs(10.0);
     println!("# Figure 7: throughput + device bandwidth over a {window:?} window");
-    println!("# keys={keys} value=4KB threads={} workload=50R/50W", threads());
+    println!(
+        "# keys={keys} value=4KB threads={} workload=50R/50W",
+        threads()
+    );
 
     {
         let kv = DStoreKv::new(dstore_default(keys), "DStore");
@@ -84,14 +94,25 @@ fn main() {
             Arc::clone(&ssd),
             dstore_baselines::lsm::LsmConfig::default(),
         );
-        run_one("PMEM-RocksDB", lsm.as_ref(), DeviceProbe { pmem: pool, ssd }, keys, window);
+        run_one(
+            "PMEM-RocksDB",
+            lsm.as_ref(),
+            DeviceProbe { pmem: pool, ssd },
+            keys,
+            window,
+        );
     }
     {
         let cfg = dstore_baselines::pagecache::PageCacheConfig::default();
         let (pool, ssd) = bench_devices(1 + cfg.pages as u64 * 64 + 1024);
-        let mongo =
-            dstore_baselines::PageCacheBTree::new(Arc::clone(&pool), Arc::clone(&ssd), cfg);
-        run_one("MongoDB-PM", mongo.as_ref(), DeviceProbe { pmem: pool, ssd }, keys, window);
+        let mongo = dstore_baselines::PageCacheBTree::new(Arc::clone(&pool), Arc::clone(&ssd), cfg);
+        run_one(
+            "MongoDB-PM",
+            mongo.as_ref(),
+            DeviceProbe { pmem: pool, ssd },
+            keys,
+            window,
+        );
     }
     {
         let pool = Arc::new(
@@ -105,6 +126,12 @@ fn main() {
             Arc::clone(&pool),
             dstore_baselines::uncached::UncachedConfig::default(),
         );
-        run_one("MongoDB-PMSE", pmse.as_ref(), DeviceProbe { pmem: pool, ssd }, keys, window);
+        run_one(
+            "MongoDB-PMSE",
+            pmse.as_ref(),
+            DeviceProbe { pmem: pool, ssd },
+            keys,
+            window,
+        );
     }
 }

@@ -36,7 +36,11 @@ fn main() {
     println!("# Figure 8: tail latency curves (us), value=4KB, threads={threads}");
 
     for kind in [WorkloadKind::A, WorkloadKind::B] {
-        let wname = if kind == WorkloadKind::A { "A (50R/50W)" } else { "B (95R/5W)" };
+        let wname = if kind == WorkloadKind::A {
+            "A (50R/50W)"
+        } else {
+            "B (95R/5W)"
+        };
         let mut read_rows: Vec<(String, LatencyHistogram)> = Vec::new();
         let mut update_rows: Vec<(String, LatencyHistogram)> = Vec::new();
 

@@ -17,16 +17,33 @@ fn main() {
     let duration = secs(6.0);
     let threads = threads();
     println!("# Figure 9: ablation — write latency (us), 50R/50W, threads={threads}");
-    println!(
-        "{:<34} {:>12} {:>12}",
-        "configuration", "average", "p9999"
-    );
+    println!("{:<34} {:>12} {:>12}", "configuration", "average", "p9999");
 
     let configs: [(&str, CheckpointMode, LoggingMode, bool); 4] = [
-        ("naive (physical log + CoW)", CheckpointMode::Cow, LoggingMode::Physical, false),
-        ("+logical (logical log + CoW)", CheckpointMode::Cow, LoggingMode::Logical, false),
-        ("+DIPPER (decoupled ckpt)", CheckpointMode::Dipper, LoggingMode::Logical, false),
-        ("+OE (full DStore)", CheckpointMode::Dipper, LoggingMode::Logical, true),
+        (
+            "naive (physical log + CoW)",
+            CheckpointMode::Cow,
+            LoggingMode::Physical,
+            false,
+        ),
+        (
+            "+logical (logical log + CoW)",
+            CheckpointMode::Cow,
+            LoggingMode::Logical,
+            false,
+        ),
+        (
+            "+DIPPER (decoupled ckpt)",
+            CheckpointMode::Dipper,
+            LoggingMode::Logical,
+            false,
+        ),
+        (
+            "+OE (full DStore)",
+            CheckpointMode::Dipper,
+            LoggingMode::Logical,
+            true,
+        ),
     ];
 
     for (name, ckpt, logging, oe) in configs {

@@ -34,7 +34,8 @@ fn bench_log(c: &mut Criterion) {
                     // a swap (no checkpointer attached — records are
                     // measurement fodder).
                     log.swap(|| {});
-                    log.try_append(1, name.as_bytes(), &i.to_le_bytes()).unwrap()
+                    log.try_append(1, name.as_bytes(), &i.to_le_bytes())
+                        .unwrap()
                 }
             };
             log.commit(r.handle);

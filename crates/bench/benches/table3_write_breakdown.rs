@@ -6,8 +6,8 @@
 //! ~96 % at 16 KB — "software overhead ~10%"); metadata and log-flush
 //! costs are size-agnostic (logical logging).
 
-use dstore_bench::*;
 use dstore::WriteBreakdown;
+use dstore_bench::*;
 
 /// The paper's testbed clock (8280L @ 2.70 GHz) for the cycles row.
 const GHZ: f64 = 2.7;

@@ -28,7 +28,13 @@ fn measure(name: &'static str, sys: &dyn KvSystem, keys: usize, window: Duration
     std::thread::scope(|s| {
         let c = &counting;
         let worker = s.spawn(move || {
-            run_ycsb(c, WorkloadKind::A, keys, window + Duration::from_millis(200), threads)
+            run_ycsb(
+                c,
+                WorkloadKind::A,
+                keys,
+                window + Duration::from_millis(200),
+                threads,
+            )
         });
         timeline.sample_for(window, || {
             (

@@ -18,12 +18,14 @@
 use dstore_index::fnv1a;
 use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::time::Duration;
 
 const SHARDS: usize = 64;
 
 /// Sharded set of object names currently being mutated.
 pub struct InflightWriters {
     shards: Vec<Mutex<HashSet<Vec<u8>>>>,
+    stall_timeout: Duration,
 }
 
 impl Default for InflightWriters {
@@ -33,10 +35,17 @@ impl Default for InflightWriters {
 }
 
 impl InflightWriters {
-    /// Empty set.
+    /// Empty set with the default 30 s deadlock-detector budget.
     pub fn new() -> Self {
+        Self::with_stall_timeout(Duration::from_secs(30))
+    }
+
+    /// Empty set whose [`InflightWriters::wait_clear`] panics after
+    /// `stall_timeout` (see `DStoreConfig::stall_timeout`).
+    pub fn with_stall_timeout(stall_timeout: Duration) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            stall_timeout,
         }
     }
 
@@ -69,9 +78,10 @@ impl InflightWriters {
         while self.contains(name) {
             std::thread::yield_now();
             // Deadlock detector: writers unregister at the end of one op.
-            if t.elapsed().as_secs() > 30 {
+            if t.elapsed() > self.stall_timeout {
                 panic!(
-                    "wait_clear stalled >30s on {:?} — leaked writer registration?",
+                    "wait_clear stalled >{:?} on {:?} — leaked writer registration?",
+                    self.stall_timeout,
                     String::from_utf8_lossy(name)
                 );
             }

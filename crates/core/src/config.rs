@@ -3,6 +3,7 @@
 use dstore_pmem::LatencyModel;
 use dstore_ssd::SsdLatency;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Which checkpoint architecture the store runs (§4.5 "CoW Design" /
 /// Figure 9 ablation).
@@ -68,6 +69,13 @@ pub struct DStoreConfig {
     pub pmem_file: Option<PathBuf>,
     /// Back the SSD with this file.
     pub ssd_file: Option<PathBuf>,
+    /// Deadlock-detector budget for the store's three internal spin
+    /// waits (reader drain, writer drain, log-record commit). A wait
+    /// exceeding this panics with a diagnostic instead of hanging the
+    /// process. Raise it for heavily oversubscribed hosts (e.g. many
+    /// shards sharing few cores); lower it in tests that want stalls
+    /// surfaced quickly.
+    pub stall_timeout: Duration,
 }
 
 impl Default for DStoreConfig {
@@ -87,6 +95,7 @@ impl Default for DStoreConfig {
             ssd_latency: SsdLatency::none(),
             pmem_file: None,
             ssd_file: None,
+            stall_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -135,13 +144,21 @@ impl DStoreConfig {
         self.auto_checkpoint = auto;
         self
     }
+    /// Sets the deadlock-detector budget for internal spin waits.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
 
     /// Validates the configuration, returning a description of the first
     /// problem. Called by [`crate::DStore::create`] so misconfigurations
     /// fail fast instead of panicking deep inside an allocator.
     pub fn validate(&self) -> Result<(), String> {
         if self.ssd_pages < 8 {
-            return Err(format!("ssd_pages = {} is too small (minimum 8)", self.ssd_pages));
+            return Err(format!(
+                "ssd_pages = {} is too small (minimum 8)",
+                self.ssd_pages
+            ));
         }
         if self.pages_per_block == 0 {
             return Err("pages_per_block must be at least 1".into());
@@ -162,6 +179,13 @@ impl DStoreConfig {
             return Err(format!(
                 "swap_threshold = {} must be within [0.05, 0.95]",
                 self.swap_threshold
+            ));
+        }
+        if self.stall_timeout < Duration::from_millis(10) {
+            return Err(format!(
+                "stall_timeout = {:?} is shorter than a plausible checkpoint; \
+                 the deadlock detector would fire on healthy waits",
+                self.stall_timeout
             ));
         }
         // The shadow arena must hold the block-pool ring plus headroom
@@ -219,6 +243,10 @@ mod tests {
         let mut c = DStoreConfig::small();
         c.ssd_pages = 64 * 1024 * 1024; // pool ring alone > shadow
         assert!(c.validate().unwrap_err().contains("shadow_size"));
+
+        let mut c = DStoreConfig::small();
+        c.stall_timeout = Duration::from_millis(1);
+        assert!(c.validate().unwrap_err().contains("stall_timeout"));
     }
 
     #[test]

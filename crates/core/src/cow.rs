@@ -240,7 +240,13 @@ mod tests {
     use super::*;
     use dstore_dipper::DipperConfig;
 
-    type Setup = (Arc<PmemPool>, PmemLayout, Arc<Root>, Arc<OpLog>, Arc<Arena<DramMemory>>);
+    type Setup = (
+        Arc<PmemPool>,
+        PmemLayout,
+        Arc<Root>,
+        Arc<OpLog>,
+        Arc<Arena<DramMemory>>,
+    );
 
     fn setup() -> Setup {
         let cfg = DipperConfig {
@@ -296,14 +302,7 @@ mod tests {
         let drain = Arc::new(RwLock::new(()));
         // Enough pages that the copy takes a visible moment.
         dram.alloc_block(1 << 19);
-        let cow = CowCheckpointer::new(
-            pool,
-            layout,
-            root,
-            log,
-            Arc::clone(&dram),
-            drain,
-        );
+        let cow = CowCheckpointer::new(pool, layout, root, log, Arc::clone(&dram), drain);
         assert!(cow.try_begin());
         // A mutator arriving now must wait until the image completes.
         cow.wait_or_assist();

@@ -181,10 +181,7 @@ impl DsContext {
             |d, log_mode| match log_mode {
                 LoggingMode::Logical => (ops::OP_DELETE, vec![]),
                 LoggingMode::Physical => {
-                    let pushes = d
-                        .lookup(key)
-                        .map(|e| d.read_entry(e).2)
-                        .unwrap_or_default();
+                    let pushes = d.lookup(key).map(|e| d.read_entry(e).2).unwrap_or_default();
                     (
                         ops::OP_PHYS_DELETE,
                         PhysImage {
@@ -252,7 +249,10 @@ impl DsContext {
     pub fn list(&self) -> Vec<Vec<u8>> {
         let _bt = self.inner.btree_lock.read();
         let mut out = vec![];
-        self.inner.domain().btree().for_each(|k, _| out.push(k.to_vec()));
+        self.inner
+            .domain()
+            .btree()
+            .for_each(|k, _| out.push(k.to_vec()));
         out
     }
 
@@ -369,7 +369,10 @@ impl DsContext {
     fn mutate_plan<P>(
         &self,
         name: &[u8],
-        encode: impl Fn(&crate::structures::Domain<'_, dstore_arena::DramMemory>, LoggingMode) -> (u16, Vec<u8>),
+        encode: impl Fn(
+            &crate::structures::Domain<'_, dstore_arena::DramMemory>,
+            LoggingMode,
+        ) -> (u16, Vec<u8>),
         plan: impl Fn(&crate::structures::Domain<'_, dstore_arena::DramMemory>) -> DsResult<P>,
         bd: &mut Option<&mut WriteBreakdown>,
     ) -> DsResult<(dstore_dipper::RecordHandle, u64, P)> {
@@ -378,7 +381,11 @@ impl DsContext {
             let _drain = inner.drain.read();
             let _global = (!inner.cfg.oe).then(|| inner.global_lock.lock());
             let t_log = Instant::now();
-            type Appended<P> = (AppendResult, Vec<dstore_dipper::RecordHandle>, Option<DsResult<P>>);
+            type Appended<P> = (
+                AppendResult,
+                Vec<dstore_dipper::RecordHandle>,
+                Option<DsResult<P>>,
+            );
             let appended: Result<Appended<P>, LogFull> = {
                 // Step ①: lock the pools.
                 let _g = inner.pool_lock.lock();
@@ -550,7 +557,10 @@ fn prepare_put_record(
 ) -> (u16, Vec<u8>) {
     let old = d.lookup(key).map(|e| d.read_entry(e).2);
     let need = blocks_for_geometry(size, d.block_bytes());
-    let touch = old.as_ref().map(|b| b.len() as u64 == need).unwrap_or(false);
+    let touch = old
+        .as_ref()
+        .map(|b| b.len() as u64 == need)
+        .unwrap_or(false);
     match mode {
         LoggingMode::Logical => (
             if touch { ops::OP_TOUCH } else { ops::OP_PUT },
@@ -633,9 +643,10 @@ impl ObjectHandle<'_> {
                 let page_in_block = (pos % bs) / page_sz;
                 let in_page = pos % page_sz;
                 let take = (n - done).min(page_sz - in_page);
-                inner
-                    .ssd
-                    .read_pages(d.block_first_page(blocks[bi]) + page_in_block as u64, &mut page);
+                inner.ssd.read_pages(
+                    d.block_first_page(blocks[bi]) + page_in_block as u64,
+                    &mut page,
+                );
                 buf[done..done + take].copy_from_slice(&page[in_page..in_page + take]);
                 done += take;
             }
@@ -654,7 +665,12 @@ impl ObjectHandle<'_> {
         let len = data.len() as u64;
         let (handle, lsn, plan) = self.ctx.mutate_plan(
             &self.name,
-            |_d, _mode| (ops::OP_EXTEND, ExtendParams { offset, len }.encode().to_vec()),
+            |_d, _mode| {
+                (
+                    ops::OP_EXTEND,
+                    ExtendParams { offset, len }.encode().to_vec(),
+                )
+            },
             |d| d.plan_extend(&self.name, offset, len),
             &mut None,
         )?;
@@ -677,7 +693,9 @@ impl ObjectHandle<'_> {
             if in_page == 0 && take == page_sz {
                 inner.ssd.write_pages(page_id, &data[done..done + page_sz]);
             } else {
-                inner.ssd.write_partial(page_id, in_page, &data[done..done + take]);
+                inner
+                    .ssd
+                    .write_partial(page_id, in_page, &data[done..done + take]);
             }
             done += take;
         }

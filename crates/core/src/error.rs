@@ -24,6 +24,12 @@ pub enum DsError {
     NotFormatted,
     /// The object was opened without the required access mode.
     BadMode,
+    /// The name collides with a store-internal reserved prefix (e.g.
+    /// `dstore-shard`'s shard-map superblock object).
+    ReservedName,
+    /// Recovery of a sharded store found inconsistent shard metadata
+    /// (wrong shard count, mixed router seeds, duplicate shard index).
+    ShardMismatch(String),
     /// Underlying device error (file-backed pools).
     Io(String),
 }
@@ -40,6 +46,8 @@ impl fmt::Display for DsError {
             DsError::NameTooLong(n) => write!(f, "object name too long: {n} bytes"),
             DsError::NotFormatted => write!(f, "pool does not contain a DStore instance"),
             DsError::BadMode => write!(f, "object not opened for this access"),
+            DsError::ReservedName => write!(f, "object name uses a reserved prefix"),
+            DsError::ShardMismatch(e) => write!(f, "shard metadata mismatch: {e}"),
             DsError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -57,5 +57,5 @@ pub mod structures;
 pub use config::{CheckpointMode, DStoreConfig, LoggingMode};
 pub use ctx::{DsContext, DsLock, ObjectHandle, ObjectStat, OpenMode};
 pub use error::{DsError, DsResult};
-pub use stats::{Footprint, StoreStats, WriteBreakdown};
-pub use store::{CrashImage, DStore};
+pub use stats::{Footprint, StatsSnapshot, StoreStats, WriteBreakdown};
+pub use store::{CrashImage, DStore, RecoveryReport};

@@ -38,6 +38,62 @@ impl StoreStats {
             + self.writes.load(Ordering::Relaxed)
             + self.reads.load(Ordering::Relaxed)
     }
+
+    /// A point-in-time copy of all counters. Loads are relaxed and
+    /// per-counter, so the snapshot is not an atomic cut across counters
+    /// — fine for reporting, not for invariant checks.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            ww_conflicts: self.ww_conflicts.load(Ordering::Relaxed),
+            rw_backoffs: self.rw_backoffs.load(Ordering::Relaxed),
+            log_full_stalls: self.log_full_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-integer copy of [`StoreStats`], mergeable across shards.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Completed put/create operations.
+    pub puts: u64,
+    /// Completed get operations.
+    pub gets: u64,
+    /// Completed deletes.
+    pub deletes: u64,
+    /// Completed partial writes (`owrite`).
+    pub writes: u64,
+    /// Completed partial reads (`oread`).
+    pub reads: u64,
+    /// Operations that had to retry due to a write-write conflict.
+    pub ww_conflicts: u64,
+    /// Reader back-offs due to an in-flight writer.
+    pub rw_backoffs: u64,
+    /// Appends that hit a full log and waited for a checkpoint.
+    pub log_full_stalls: u64,
+}
+
+impl StatsSnapshot {
+    /// Total completed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.puts + self.gets + self.deletes + self.writes + self.reads
+    }
+
+    /// Accumulates another snapshot (shard aggregation).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.deletes += other.deletes;
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.ww_conflicts += other.ww_conflicts;
+        self.rw_backoffs += other.rw_backoffs;
+        self.log_full_stalls += other.log_full_stalls;
+    }
 }
 
 /// Per-write time breakdown — the rows of the paper's Table 3.
@@ -86,7 +142,7 @@ impl WriteBreakdown {
 /// Storage consumed across the three tiers (Figure 10). "We define space
 /// amplification as the ratio of size of application data to the size of
 /// space utilized by the storage system across DRAM, PMEM, and SSD."
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Footprint {
     /// DRAM bytes in use (system-space arena high water).
     pub dram_bytes: u64,
@@ -103,6 +159,14 @@ impl Footprint {
     /// Total physical bytes.
     pub fn total(&self) -> u64 {
         self.dram_bytes + self.pmem_bytes + self.ssd_bytes
+    }
+
+    /// Accumulates another footprint (shard aggregation).
+    pub fn merge(&mut self, other: &Footprint) {
+        self.dram_bytes += other.dram_bytes;
+        self.pmem_bytes += other.pmem_bytes;
+        self.ssd_bytes += other.ssd_bytes;
+        self.logical_bytes += other.logical_bytes;
     }
 
     /// Space amplification = physical / logical.
@@ -160,5 +224,41 @@ mod tests {
         s.puts.fetch_add(3, Ordering::Relaxed);
         s.gets.fetch_add(4, Ordering::Relaxed);
         assert_eq!(s.total_ops(), 7);
+    }
+
+    #[test]
+    fn snapshot_copies_and_merges() {
+        let s = StoreStats::new();
+        s.puts.fetch_add(3, Ordering::Relaxed);
+        s.ww_conflicts.fetch_add(1, Ordering::Relaxed);
+        let a = s.snapshot();
+        assert_eq!(a.puts, 3);
+        assert_eq!(a.ww_conflicts, 1);
+        assert_eq!(a.total_ops(), 3);
+
+        let mut acc = StatsSnapshot::default();
+        acc.merge(&a);
+        acc.merge(&a);
+        assert_eq!(acc.puts, 6);
+        assert_eq!(acc.ww_conflicts, 2);
+        // The live counters are untouched by snapshot/merge.
+        assert_eq!(s.snapshot(), a);
+    }
+
+    #[test]
+    fn footprint_merge_sums_tiers() {
+        let mut acc = Footprint::default();
+        let f = Footprint {
+            dram_bytes: 1,
+            pmem_bytes: 2,
+            ssd_bytes: 3,
+            logical_bytes: 4,
+        };
+        acc.merge(&f);
+        acc.merge(&f);
+        assert_eq!(acc.dram_bytes, 2);
+        assert_eq!(acc.pmem_bytes, 4);
+        assert_eq!(acc.ssd_bytes, 6);
+        assert_eq!(acc.logical_bytes, 8);
     }
 }

@@ -63,11 +63,7 @@ impl CrashImage {
 
     /// Builds an image from explicitly opened devices — how a real restart
     /// reopens file-backed pools before [`DStore::recover`].
-    pub fn from_devices(
-        pool: Arc<PmemPool>,
-        ssd: Arc<SsdDevice>,
-        cfg: DStoreConfig,
-    ) -> CrashImage {
+    pub fn from_devices(pool: Arc<PmemPool>, ssd: Arc<SsdDevice>, cfg: DStoreConfig) -> CrashImage {
         CrashImage { pool, ssd, cfg }
     }
 
@@ -220,7 +216,9 @@ impl DStore {
         }
         let pool = Arc::new(pb.build()?);
         let ssd = Arc::new(match &cfg.ssd_file {
-            Some(f) => SsdDevice::file_backed(f, cfg.ssd_pages)?.with_latency(cfg.ssd_latency.clone()),
+            Some(f) => {
+                SsdDevice::file_backed(f, cfg.ssd_pages)?.with_latency(cfg.ssd_latency.clone())
+            }
             None => SsdDevice::anon(cfg.ssd_pages).with_latency(cfg.ssd_latency.clone()),
         });
         // Superblock: "The first block is reserved for the superblock,
@@ -235,7 +233,9 @@ impl DStore {
             layout.log_size as u64,
             layout.shadow_size as u64,
         ));
-        let log = Arc::new(OpLog::create(Arc::clone(&pool), layout));
+        let mut log = OpLog::create(Arc::clone(&pool), layout);
+        log.set_stall_timeout(cfg.stall_timeout);
+        let log = Arc::new(log);
 
         // System space: format the DRAM domain, then seed shadow region 0
         // with an identical image so the first checkpoint has a base.
@@ -252,7 +252,17 @@ impl DStore {
         root.set_app_dir(dir.offset());
 
         Ok(Self {
-            inner: Self::assemble(cfg, layout, pool, ssd, root, log, dram, dir, RecoveryReport::default()),
+            inner: Self::assemble(
+                cfg,
+                layout,
+                pool,
+                ssd,
+                root,
+                log,
+                dram,
+                dir,
+                RecoveryReport::default(),
+            ),
         })
     }
 
@@ -269,6 +279,7 @@ impl DStore {
         recovery: RecoveryReport,
     ) -> Arc<StoreInner> {
         let drain = Arc::new(RwLock::new(()));
+        let stall_timeout = cfg.stall_timeout;
         let (ckpt, cow) = match cfg.checkpoint {
             CheckpointMode::Dipper => {
                 let applier = make_applier(&pool, layout, dir);
@@ -307,8 +318,8 @@ impl DStore {
             pool_lock: Mutex::new(()),
             btree_lock: RwLock::new(()),
             global_lock: Mutex::new(()),
-            readers: ReadCounts::new(),
-            writers: InflightWriters::new(),
+            readers: ReadCounts::with_stall_timeout(stall_timeout),
+            writers: InflightWriters::with_stall_timeout(stall_timeout),
             drain,
             ckpt: Mutex::new(ckpt),
             cow,
@@ -320,6 +331,11 @@ impl DStore {
     /// A per-thread operation context — the paper's `ds_init`.
     pub fn context(&self) -> DsContext {
         DsContext::new(Arc::clone(&self.inner))
+    }
+
+    /// The configuration this store runs with.
+    pub fn config(&self) -> &DStoreConfig {
+        &self.inner.cfg
     }
 
     /// Runs one complete checkpoint synchronously.
@@ -335,6 +351,36 @@ impl DStore {
                     c.run_inline();
                 }
             }
+        }
+    }
+
+    /// Fraction of the active log buffer currently in use, in [0, 1].
+    /// This is the signal external checkpoint schedulers (e.g.
+    /// `dstore-shard`'s staggered scheduler) poll to decide when to
+    /// trigger [`DStore::checkpoint_async`].
+    pub fn log_used_fraction(&self) -> f64 {
+        self.inner.log.used_fraction()
+    }
+
+    /// Starts a checkpoint without waiting for it to finish. Returns
+    /// `false` if one is already running (nothing new is scheduled).
+    /// Intended for external schedulers driving stores that were created
+    /// with `auto_checkpoint = false`.
+    pub fn checkpoint_async(&self) -> bool {
+        match self.inner.cfg.checkpoint {
+            CheckpointMode::Dipper => self
+                .inner
+                .ckpt
+                .lock()
+                .as_ref()
+                .map(|c| c.try_begin())
+                .unwrap_or(false),
+            CheckpointMode::Cow => self
+                .inner
+                .cow
+                .as_ref()
+                .map(|c| c.try_begin())
+                .unwrap_or(false),
         }
     }
 
@@ -380,12 +426,36 @@ impl DStore {
         g.as_ref().map(|c| {
             let s = c.stats();
             CheckpointStats {
-                completed: s.completed.load(std::sync::atomic::Ordering::Relaxed).into(),
-                records_applied: s.records_applied.load(std::sync::atomic::Ordering::Relaxed).into(),
-                bytes_copied: s.bytes_copied.load(std::sync::atomic::Ordering::Relaxed).into(),
-                last_apply_ns: s.last_apply_ns.load(std::sync::atomic::Ordering::Relaxed).into(),
+                completed: s
+                    .completed
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .into(),
+                records_applied: s
+                    .records_applied
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .into(),
+                bytes_copied: s
+                    .bytes_copied
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .into(),
+                last_apply_ns: s
+                    .last_apply_ns
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    .into(),
             }
         })
+    }
+
+    /// Checkpoints completed since creation/recovery, in either
+    /// checkpoint mode.
+    pub fn checkpoints_completed(&self) -> u64 {
+        match self.inner.cfg.checkpoint {
+            CheckpointMode::Dipper => self
+                .checkpoint_stats()
+                .map(|c| c.completed.load(std::sync::atomic::Ordering::Relaxed))
+                .unwrap_or(0),
+            CheckpointMode::Cow => self.inner.cow.as_ref().map(|c| c.completed()).unwrap_or(0),
+        }
     }
 
     /// Operation counters.
@@ -528,7 +598,9 @@ impl DStore {
         report.replay_ns = t_replay.elapsed().as_nanos() as u64;
 
         // Step 4: resume — volatile log state, fresh CC state.
-        let log = Arc::new(plan.finish(Arc::clone(&pool), layout));
+        let mut log = plan.finish(Arc::clone(&pool), layout);
+        log.set_stall_timeout(cfg.stall_timeout);
+        let log = Arc::new(log);
         Ok(Self {
             inner: Self::assemble(cfg, layout, pool, ssd, root, log, dram, dir, report),
         })

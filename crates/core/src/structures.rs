@@ -194,11 +194,7 @@ impl<'a, M: Memory> Domain<'a, M> {
 
     /// [`Domain::format`] with `pages_per_block` pages per allocation
     /// block. Block `b` owns pages `[1 + b·ppb, 1 + (b+1)·ppb)`.
-    pub fn format_with_geometry(
-        arena: &'a Arena<M>,
-        ssd_pages: u64,
-        pages_per_block: u64,
-    ) -> Self {
+    pub fn format_with_geometry(arena: &'a Arena<M>, ssd_pages: u64, pages_per_block: u64) -> Self {
         assert!(pages_per_block >= 1, "blocks hold at least one page");
         assert!(ssd_pages > pages_per_block, "SSD too small");
         let dir: RelPtr<Directory> = arena.alloc();
@@ -283,7 +279,9 @@ impl<'a, M: Memory> Domain<'a, M> {
     pub fn pool_pop(&self) -> Option<u64> {
         // SAFETY: pool structures live; caller synchronizes.
         unsafe {
-            let p = &mut *self.arena.resolve((*self.arena.resolve(self.dir)).block_pool);
+            let p = &mut *self
+                .arena
+                .resolve((*self.arena.resolve(self.dir)).block_pool);
             if p.count == 0 {
                 return None;
             }
@@ -299,7 +297,9 @@ impl<'a, M: Memory> Domain<'a, M> {
     pub fn pool_push(&self, id: u64) {
         // SAFETY: as in pool_pop.
         unsafe {
-            let p = &mut *self.arena.resolve((*self.arena.resolve(self.dir)).block_pool);
+            let p = &mut *self
+                .arena
+                .resolve((*self.arena.resolve(self.dir)).block_pool);
             assert!(p.count < p.capacity, "pool overflow: double free?");
             let base = self.arena.resolve(p.items);
             *base.add(((p.head + p.count) % p.capacity) as usize) = id;
@@ -315,7 +315,9 @@ impl<'a, M: Memory> Domain<'a, M> {
     pub fn pool_peek(&self, n: u64) -> Option<Vec<u64>> {
         // SAFETY: read-only under the caller's pool lock.
         unsafe {
-            let p = &*self.arena.resolve((*self.arena.resolve(self.dir)).block_pool);
+            let p = &*self
+                .arena
+                .resolve((*self.arena.resolve(self.dir)).block_pool);
             if p.count < n {
                 return None;
             }
@@ -454,7 +456,9 @@ impl<'a, M: Memory> Domain<'a, M> {
         if self.pool_free() < n {
             return Err(DsError::OutOfSpace);
         }
-        Ok((0..n).map(|_| self.pool_pop().expect("count checked")).collect())
+        Ok((0..n)
+            .map(|_| self.pool_pop().expect("count checked"))
+            .collect())
     }
 
     /// Plans an [`ops::OP_EXTEND`]: pops the additional blocks.
@@ -573,7 +577,8 @@ impl<'a, M: Memory> Domain<'a, M> {
                 self.install_extend(&rec.name, &plan, rec.lsn);
             }
             ops::OP_DELETE => {
-                self.plan_delete(&rec.name).expect("replay delete mirrors frontend");
+                self.plan_delete(&rec.name)
+                    .expect("replay delete mirrors frontend");
                 self.install_delete(&rec.name);
             }
             ops::OP_PHYS_INSTALL => {
@@ -803,7 +808,11 @@ mod tests {
         for i in 0..40u64 {
             let name = format!("obj{}", i % 7);
             let size = (i % 5 + 1) * 3000;
-            let rec = log_op(ops::OP_PUT, name.as_bytes(), PutParams { size }.encode().to_vec());
+            let rec = log_op(
+                ops::OP_PUT,
+                name.as_bytes(),
+                PutParams { size }.encode().to_vec(),
+            );
             let plan = front.plan_put(&rec.name, size).unwrap();
             front.install_put(&rec.name, size, &plan, rec.lsn);
             records.push(rec);
@@ -840,7 +849,9 @@ mod tests {
         let mut names = vec![];
         front.btree().for_each(|k, _| names.push(k.to_vec()));
         let mut shadow_names = vec![];
-        shadow.btree().for_each(|k, _| shadow_names.push(k.to_vec()));
+        shadow
+            .btree()
+            .for_each(|k, _| shadow_names.push(k.to_vec()));
         assert_eq!(names, shadow_names);
         for n in &names {
             let fe = front.read_entry(front.lookup(n).unwrap());
@@ -850,8 +861,12 @@ mod tests {
         }
         // Pool contents in order must match too (future allocations
         // diverge otherwise).
-        let pops_f: Vec<_> = (0..front.pool_free()).map(|_| front.pool_pop().unwrap()).collect();
-        let pops_s: Vec<_> = (0..shadow.pool_free()).map(|_| shadow.pool_pop().unwrap()).collect();
+        let pops_f: Vec<_> = (0..front.pool_free())
+            .map(|_| front.pool_pop().unwrap())
+            .collect();
+        let pops_s: Vec<_> = (0..shadow.pool_free())
+            .map(|_| shadow.pool_pop().unwrap())
+            .collect();
         assert_eq!(pops_f, pops_s);
     }
 
@@ -872,7 +887,11 @@ mod tests {
             let img = PhysImage {
                 size,
                 blocks: plan.blocks.clone(),
-                pops: if plan.kind == PutKind::Touch { 0 } else { plan.blocks.len() as u32 },
+                pops: if plan.kind == PutKind::Touch {
+                    0
+                } else {
+                    plan.blocks.len() as u32
+                },
                 pushes: plan.freed.clone(),
             };
             records.push(OwnedRecord {

@@ -9,14 +9,24 @@ use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Put { key: u8, len: usize },
-    Delete { key: u8 },
+    Put {
+        key: u8,
+        len: usize,
+    },
+    Delete {
+        key: u8,
+    },
     /// `owrite` appending `len` bytes to an existing object (filesystem
     /// API path: OP_EXTEND records).
-    Append { key: u8, len: usize },
+    Append {
+        key: u8,
+        len: usize,
+    },
     /// `olock` whose guard is leaked — a pending NOOP record at crash
     /// time, which recovery must discard.
-    LeakLock { key: u8 },
+    LeakLock {
+        key: u8,
+    },
     Checkpoint,
     SwapOnly,
 }
@@ -32,11 +42,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn run_case(
-    ops: &[Op],
-    ckpt: CheckpointMode,
-    logging: LoggingMode,
-) -> Result<(), TestCaseError> {
+fn run_case(ops: &[Op], ckpt: CheckpointMode, logging: LoggingMode) -> Result<(), TestCaseError> {
     let cfg = DStoreConfig::small()
         .with_checkpoint(ckpt)
         .with_logging(logging)

@@ -15,7 +15,12 @@ fn assert_matches_model(s: &DStore, model: &BTreeMap<Vec<u8>, Vec<u8>>) {
         model.keys().collect::<Vec<_>>()
     );
     for (k, v) in model {
-        assert_eq!(&ctx.get(k).unwrap(), v, "object {}", String::from_utf8_lossy(k));
+        assert_eq!(
+            &ctx.get(k).unwrap(),
+            v,
+            "object {}",
+            String::from_utf8_lossy(k)
+        );
     }
 }
 
@@ -168,7 +173,10 @@ fn recovery_across_many_checkpoints() {
     drop(ctx);
     s.wait_checkpoint_idle();
     assert!(
-        s.checkpoint_stats().map(|c| c.completed.into_inner()).unwrap_or(0) > 0,
+        s.checkpoint_stats()
+            .map(|c| c.completed.into_inner())
+            .unwrap_or(0)
+            > 0,
         "workload should have triggered checkpoints"
     );
     let s2 = DStore::recover(s.crash()).unwrap();
@@ -245,12 +253,15 @@ fn recover_unformatted_pool_fails() {
     let s = DStore::create(DStoreConfig::small()).unwrap();
     let img = s.crash();
     let s2 = DStore::recover(img).unwrap(); // fine: formatted
-    // Now corrupt the magic by recovering with a different config size.
+                                            // Now corrupt the magic by recovering with a different config size.
     let img2 = s2.crash();
     let mut cfg = DStoreConfig::small();
     cfg.log_size *= 2;
     let broken = dstore::store::CrashImage::reconfigure(img2, cfg);
-    assert!(matches!(DStore::recover(broken), Err(DsError::NotFormatted)));
+    assert!(matches!(
+        DStore::recover(broken),
+        Err(DsError::NotFormatted)
+    ));
 }
 
 #[test]

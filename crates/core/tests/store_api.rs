@@ -106,7 +106,10 @@ fn name_too_long_is_rejected() {
     let s = store();
     let ctx = s.context();
     let long = vec![b'x'; 300];
-    assert!(matches!(ctx.put(&long, b"v"), Err(DsError::NameTooLong(300))));
+    assert!(matches!(
+        ctx.put(&long, b"v"),
+        Err(DsError::NameTooLong(300))
+    ));
 }
 
 #[test]
@@ -287,7 +290,8 @@ fn concurrent_distinct_writers() {
                 let ctx = s.context();
                 for i in 0..40 {
                     let key = format!("t{t}/k{i}");
-                    ctx.put(key.as_bytes(), &vec![(t * 40 + i) as u8; 1000]).unwrap();
+                    ctx.put(key.as_bytes(), &vec![(t * 40 + i) as u8; 1000])
+                        .unwrap();
                 }
             })
         })
@@ -299,7 +303,10 @@ fn concurrent_distinct_writers() {
     for t in 0..8 {
         for i in 0..40 {
             let key = format!("t{t}/k{i}");
-            assert_eq!(ctx.get(key.as_bytes()).unwrap(), vec![(t * 40 + i) as u8; 1000]);
+            assert_eq!(
+                ctx.get(key.as_bytes()).unwrap(),
+                vec![(t * 40 + i) as u8; 1000]
+            );
         }
     }
     assert_eq!(s.object_count(), 320);

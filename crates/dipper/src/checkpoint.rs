@@ -106,9 +106,9 @@ impl Checkpointer {
                             // `busy` stuck true (frontends would hang on
                             // backpressure forever); surface it loudly and
                             // release the state machine.
-                            let r = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| w_inner.run_apply(archived)),
-                            );
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                w_inner.run_apply(archived)
+                            }));
                             let mut busy = w_inner.busy.lock();
                             *busy = false;
                             w_inner.cv.notify_all();
@@ -257,7 +257,7 @@ pub fn apply_checkpoint(
     let dst_range = PmemRange::new(Arc::clone(pool), layout.shadow[spare], layout.shadow_size);
     let copy_len = src.allocated_len();
     pool.bulk_read_charge(copy_len); // reading the source region
-    // SAFETY: both regions are `shadow_size` bytes and disjoint.
+                                     // SAFETY: both regions are `shadow_size` bytes and disjoint.
     unsafe {
         std::ptr::copy_nonoverlapping(
             pool.base().add(layout.shadow[cur]),
@@ -265,7 +265,9 @@ pub fn apply_checkpoint(
             copy_len,
         );
     }
-    stats.bytes_copied.fetch_add(copy_len as u64, Ordering::Relaxed);
+    stats
+        .bytes_copied
+        .fetch_add(copy_len as u64, Ordering::Relaxed);
 
     // 2. Replay committed records with the same code the frontend ran.
     applier(spare, records);

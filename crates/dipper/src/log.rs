@@ -104,6 +104,9 @@ pub struct OpLog {
     /// offsets; purely an optimization).
     hints: [AtomicUsize; 2],
     stats: LogStats,
+    /// Deadlock-detector budget for [`OpLog::wait_committed`]. Written
+    /// only by [`OpLog::set_stall_timeout`] before the log is shared.
+    stall_timeout: std::time::Duration,
 }
 
 impl OpLog {
@@ -128,6 +131,7 @@ impl OpLog {
             relocations: Mutex::new(HashMap::new()),
             hints,
             stats: LogStats::default(),
+            stall_timeout: std::time::Duration::from_secs(30),
             pool,
             layout,
         }
@@ -158,9 +162,16 @@ impl OpLog {
             relocations: Mutex::new(HashMap::new()),
             hints,
             stats: LogStats::default(),
+            stall_timeout: std::time::Duration::from_secs(30),
             pool,
             layout,
         }
+    }
+
+    /// Sets the deadlock-detector budget for [`OpLog::wait_committed`].
+    /// Call before the log is shared across threads (it takes `&mut`).
+    pub fn set_stall_timeout(&mut self, stall_timeout: std::time::Duration) {
+        self.stall_timeout = stall_timeout;
     }
 
     /// The pool this log lives in.
@@ -342,10 +353,16 @@ impl OpLog {
             // thread needs the core to make progress.
             std::thread::yield_now();
             // Deadlock detector: no operation legitimately holds a record
-            // pending for 30 s; fail loudly instead of hanging.
-            if t.elapsed().as_secs() > 30 {
-                let rec = self.resolve(h).ok().map(|off| record::read_record(&self.pool, off));
-                panic!("wait_committed stalled >30s on {h:?} rec={rec:?} — CC invariant broken");
+            // pending this long; fail loudly instead of hanging.
+            if t.elapsed() > self.stall_timeout {
+                let rec = self
+                    .resolve(h)
+                    .ok()
+                    .map(|off| record::read_record(&self.pool, off));
+                panic!(
+                    "wait_committed stalled >{:?} on {h:?} rec={rec:?} — CC invariant broken",
+                    self.stall_timeout
+                );
             }
         }
     }
@@ -392,7 +409,9 @@ impl OpLog {
             }
             off += len;
         }
-        self.stats.relocated.fetch_add(moves.len() as u64, Ordering::Relaxed);
+        self.stats
+            .relocated
+            .fetch_add(moves.len() as u64, Ordering::Relaxed);
 
         // The atomic transition: active log flips + checkpoint-in-progress
         // sets, in one persisted 8-byte root store.
@@ -622,7 +641,7 @@ mod tests {
         }
         log.swap(|| {}); // buffer 0 archived with 5 records
         log.swap(|| {}); // buffer 0 active again, recycled
-        // Stale records must be invisible despite still being in memory.
+                         // Stale records must be invisible despite still being in memory.
         assert_eq!(log.walk(0).len(), 0);
         let r = log.try_append(1, b"fresh", &[]).unwrap();
         log.commit(r.handle);

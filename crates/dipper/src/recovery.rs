@@ -196,7 +196,10 @@ mod tests {
         assert!(plan.state.checkpoint_in_progress);
         let redo = plan.redo_records.as_ref().expect("redo required");
         assert_eq!(redo.len(), 3);
-        assert!(plan.replay_records.is_empty(), "active log is empty post-swap");
+        assert!(
+            plan.replay_records.is_empty(),
+            "active log is empty post-swap"
+        );
     }
 
     #[test]

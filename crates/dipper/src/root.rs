@@ -93,11 +93,7 @@ impl Root {
 
     /// Attaches to an existing root; `None` if the pool is not formatted
     /// or was formatted with different sizes.
-    pub fn attach(
-        pool: std::sync::Arc<PmemPool>,
-        log_size: u64,
-        shadow_size: u64,
-    ) -> Option<Self> {
+    pub fn attach(pool: std::sync::Arc<PmemPool>, log_size: u64, shadow_size: u64) -> Option<Self> {
         let r = Self { pool };
         if r.pool.read_u64(OFF_MAGIC) != MAGIC {
             return None;

@@ -156,7 +156,12 @@ fn checkpoint_applies_log_to_shadow_and_commits_root() {
     assert_eq!(st.current_shadow, 1, "root flipped to the new image");
     assert_eq!(mini.shadow_read(1, b"a"), 6);
     assert_eq!(mini.shadow_read(1, b"b"), 7);
-    assert_eq!(ckpt.stats().completed.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(
+        ckpt.stats()
+            .completed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
     // Frontend keeps running during/after checkpoints.
     mini.add(b"a", 10);
     assert_eq!(mini.read(b"a"), 16);
@@ -179,7 +184,14 @@ fn crash_mid_checkpoint_redo_produces_same_image() {
     assert_eq!(redo.len(), 2);
     let applier = applier_for(&mini.pool, mini.layout, mini.dir);
     let stats = CheckpointStats::default();
-    apply_checkpoint(&mini.pool, &mini.layout, &mini.root, &applier, &redo, &stats);
+    apply_checkpoint(
+        &mini.pool,
+        &mini.layout,
+        &mini.root,
+        &applier,
+        &redo,
+        &stats,
+    );
     let st = mini.root.state();
     assert!(!st.checkpoint_in_progress);
     assert_eq!(mini.shadow_read(st.current_shadow, b"x"), 3);
@@ -268,7 +280,10 @@ fn frontend_progresses_during_background_checkpoint() {
         for i in 0..200 {
             mini.add(format!("o{i}").as_bytes(), 1);
         }
-        assert!(ckpt.try_begin(), "round {round}: previous checkpoint still busy");
+        assert!(
+            ckpt.try_begin(),
+            "round {round}: previous checkpoint still busy"
+        );
         // Interleave frontend work with the background apply.
         for i in 0..200 {
             mini.add(format!("o{i}").as_bytes(), 1);

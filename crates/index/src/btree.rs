@@ -663,8 +663,16 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
             }
         } else {
             for i in 0..=c {
-                let lo = if i == 0 { lower } else { Some(self.key_bytes(n.keys[i - 1])) };
-                let hi = if i == c { upper } else { Some(self.key_bytes(n.keys[i])) };
+                let lo = if i == 0 {
+                    lower
+                } else {
+                    Some(self.key_bytes(n.keys[i - 1]))
+                };
+                let hi = if i == c {
+                    upper
+                } else {
+                    Some(self.key_bytes(n.keys[i]))
+                };
                 assert!(!n.children[i].is_null(), "internal node with null child");
                 self.check_node(n.children[i], false, lo, hi, depth + 1, leaf_depth, count);
             }
@@ -892,6 +900,10 @@ mod tests {
 
     #[test]
     fn node_fits_512_class() {
-        assert!(std::mem::size_of::<Node>() <= 512, "{}", std::mem::size_of::<Node>());
+        assert!(
+            std::mem::size_of::<Node>() <= 512,
+            "{}",
+            std::mem::size_of::<Node>()
+        );
     }
 }

@@ -23,6 +23,7 @@ const SHARDS: usize = 64;
 /// Sharded object-name → read-count table.
 pub struct ReadCounts {
     shards: Vec<Mutex<HashMap<Vec<u8>, Arc<AtomicU64>>>>,
+    stall_timeout: std::time::Duration,
 }
 
 impl Default for ReadCounts {
@@ -32,10 +33,18 @@ impl Default for ReadCounts {
 }
 
 impl ReadCounts {
-    /// Creates an empty table.
+    /// Creates an empty table with the default 30 s deadlock-detector
+    /// budget.
     pub fn new() -> Self {
+        Self::with_stall_timeout(std::time::Duration::from_secs(30))
+    }
+
+    /// Creates an empty table whose [`ReadCounts::wait_for_readers`]
+    /// panics after `stall_timeout`.
+    pub fn with_stall_timeout(stall_timeout: std::time::Duration) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stall_timeout,
         }
     }
 
@@ -65,9 +74,7 @@ impl ReadCounts {
     /// Current read count for `name`.
     pub fn read_count(&self, name: &[u8]) -> u64 {
         let shard = self.shard(name).lock();
-        shard
-            .get(name)
-            .map_or(0, |c| c.load(Ordering::Acquire))
+        shard.get(name).map_or(0, |c| c.load(Ordering::Acquire))
     }
 
     /// Spins until no reader holds `name` — the writer-side poll.
@@ -83,9 +90,10 @@ impl ReadCounts {
         while counter.load(Ordering::Acquire) != 0 {
             std::thread::yield_now();
             // Deadlock detector: readers hold their count for one op only.
-            if t.elapsed().as_secs() > 30 {
+            if t.elapsed() > self.stall_timeout {
                 panic!(
-                    "wait_for_readers stalled >30s on {:?} — leaked ReadGuard?",
+                    "wait_for_readers stalled >{:?} on {:?} — leaked ReadGuard?",
+                    self.stall_timeout,
                     String::from_utf8_lossy(name)
                 );
             }

@@ -116,13 +116,8 @@ impl Mapping {
         let start = off & !(page - 1);
         let end = off + len;
         // SAFETY: range is within the mapping and page-aligned.
-        let rc = unsafe {
-            libc::msync(
-                self.as_ptr().add(start).cast(),
-                end - start,
-                libc::MS_SYNC,
-            )
-        };
+        let rc =
+            unsafe { libc::msync(self.as_ptr().add(start).cast(), end - start, libc::MS_SYNC) };
         if rc != 0 {
             return Err(io::Error::last_os_error());
         }

@@ -163,7 +163,9 @@ pub struct PmemPool {
 impl PmemPool {
     /// Convenience constructor: fast-mode anonymous pool with no latency.
     pub fn anon(size: usize) -> Self {
-        PoolBuilder::new(size).build().expect("anonymous mmap failed")
+        PoolBuilder::new(size)
+            .build()
+            .expect("anonymous mmap failed")
     }
 
     /// Convenience constructor: strict-mode anonymous pool.
@@ -332,7 +334,8 @@ impl PmemPool {
         self.check_range(off, len);
         let start = line_down(off);
         let end = line_up(off + len);
-        self.stats.record_evictions(((end - start) / CACHE_LINE) as u64);
+        self.stats
+            .record_evictions(((end - start) / CACHE_LINE) as u64);
         self.persist_lines(start, end);
     }
 

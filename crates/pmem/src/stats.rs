@@ -78,8 +78,7 @@ impl PmemStats {
 
     /// Total bytes that reached the persistent medium.
     pub fn total_write_bytes(&self) -> u64 {
-        self.flush_bytes.load(Ordering::Relaxed)
-            + self.bulk_write_bytes.load(Ordering::Relaxed)
+        self.flush_bytes.load(Ordering::Relaxed) + self.bulk_write_bytes.load(Ordering::Relaxed)
     }
 
     /// Takes a consistent-enough snapshot for timeline sampling.

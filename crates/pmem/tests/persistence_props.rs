@@ -21,8 +21,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..POOL - 64, any::<u8>(), 1..64usize)
-            .prop_map(|(off, val, len)| Op::Write { off, val, len }),
+        (0..POOL - 64, any::<u8>(), 1..64usize).prop_map(|(off, val, len)| Op::Write {
+            off,
+            val,
+            len
+        }),
         (0..POOL - 64, 1..64usize).prop_map(|(off, len)| Op::Flush { off, len }),
         Just(Op::Fence),
         (0..POOL - 64, 1..64usize).prop_map(|(off, len)| Op::Evict { off, len }),

@@ -1,0 +1,30 @@
+//! `dstore-shard`: a hash-partitioned multi-shard DStore.
+//!
+//! A [`ShardedStore`] spreads keys over N fully independent
+//! [`dstore::DStore`] instances — each with its own PMEM pool, SSD
+//! device, DIPPER log, and checkpoint engine — and re-exposes the
+//! paper's Table-2 API through [`ShardedCtx`]. Three properties make
+//! this more than a hash map of stores:
+//!
+//! * **Stable routing** ([`Router`]): key→shard placement is a pure
+//!   function of a persisted seed, and every shard carries a shard-map
+//!   superblock naming its index; recovery rejects wrong shard counts,
+//!   mixed seeds, or duplicated images instead of silently misrouting.
+//! * **Staggered checkpoints** ([`scheduler`]): a scheduler thread
+//!   offsets per-shard checkpoint triggers so PMEM/SSD bandwidth spikes
+//!   don't correlate across shards — the multi-shard analogue of the
+//!   paper's tailless-ness, measurable as p9999 aligned vs staggered in
+//!   `benches/fig11_shard_scaling.rs`.
+//! * **Parallel recovery**: [`ShardedStore::recover`] recovers all
+//!   shards concurrently (rayon) and merges their
+//!   [`dstore::RecoveryReport`]s into a [`RecoverySummary`].
+
+pub mod router;
+pub mod scheduler;
+pub mod store;
+pub mod superblock;
+
+pub use router::Router;
+pub use scheduler::{Scheduler, SchedulerConfig, SchedulerMode};
+pub use store::{RecoverySummary, ShardedConfig, ShardedCtx, ShardedStore, DEFAULT_ROUTER_SEED};
+pub use superblock::{ShardMap, RESERVED_PREFIX, SHARD_MAP_NAME};

@@ -1,0 +1,161 @@
+//! The shard-map superblock: a tiny reserved object persisted inside
+//! every shard, binding the shard to its position in the partition.
+//!
+//! A sharded store is N independent DStore instances; nothing at the
+//! device level says "this pool is shard 3 of 8 under seed S". The
+//! shard map records exactly that, so [`crate::ShardedStore::recover`]
+//! can reject a restart with the wrong shard count, a reordered image
+//! list, or mixed router seeds — any of which would silently route keys
+//! to shards that don't own them.
+
+use dstore::{DsContext, DsError, DsResult};
+
+/// Name prefix reserved for shard-internal objects. Starts with a NUL
+/// byte, which no sane application key begins with; user operations on
+/// names under this prefix are rejected with [`DsError::ReservedName`].
+pub const RESERVED_PREFIX: &[u8] = b"\0dstore-shard\0";
+
+/// Full name of the shard-map object inside each shard.
+pub const SHARD_MAP_NAME: &[u8] = b"\0dstore-shard\0map";
+
+/// "DSSHARD1" — format magic of the shard-map payload.
+const MAP_MAGIC: u64 = 0x4453_5348_4152_4431;
+
+/// Layout version of the shard-map payload.
+const MAP_VERSION: u32 = 1;
+
+/// Encoded size: magic(8) + version(4) + count(4) + index(4) + pad(4) +
+/// seed(8).
+const MAP_LEN: usize = 32;
+
+/// One shard's identity within a sharded store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Total shards in the partition.
+    pub shard_count: u32,
+    /// This shard's index in `[0, shard_count)`.
+    pub shard_index: u32,
+    /// Router seed shared by every shard.
+    pub router_seed: u64,
+}
+
+impl ShardMap {
+    fn encode(&self) -> [u8; MAP_LEN] {
+        let mut buf = [0u8; MAP_LEN];
+        buf[..8].copy_from_slice(&MAP_MAGIC.to_le_bytes());
+        buf[8..12].copy_from_slice(&MAP_VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.shard_count.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.shard_index.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.router_seed.to_le_bytes());
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> DsResult<ShardMap> {
+        if buf.len() != MAP_LEN {
+            return Err(DsError::ShardMismatch(format!(
+                "shard map is {} bytes, expected {MAP_LEN}",
+                buf.len()
+            )));
+        }
+        let magic = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        if magic != MAP_MAGIC {
+            return Err(DsError::ShardMismatch(format!(
+                "bad shard-map magic {magic:#x}"
+            )));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != MAP_VERSION {
+            return Err(DsError::ShardMismatch(format!(
+                "unsupported shard-map version {version}"
+            )));
+        }
+        let map = ShardMap {
+            shard_count: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            shard_index: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            router_seed: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+        };
+        if map.shard_count == 0 || map.shard_index >= map.shard_count {
+            return Err(DsError::ShardMismatch(format!(
+                "shard index {} out of range for count {}",
+                map.shard_index, map.shard_count
+            )));
+        }
+        Ok(map)
+    }
+
+    /// Persists this map into the shard behind `ctx`. Goes through the
+    /// ordinary put path, so the map is logged and checkpointed like any
+    /// object and survives crashes from the moment the put returns.
+    pub fn persist(&self, ctx: &DsContext) -> DsResult<()> {
+        ctx.put(SHARD_MAP_NAME, &self.encode())
+    }
+
+    /// Loads and validates the map from the shard behind `ctx`.
+    /// [`DsError::NotFound`] becomes a `ShardMismatch`: a pool without a
+    /// shard map is a bare single-instance store, not shard damage.
+    pub fn load(ctx: &DsContext) -> DsResult<ShardMap> {
+        match ctx.get(SHARD_MAP_NAME) {
+            Ok(buf) => Self::decode(&buf),
+            Err(DsError::NotFound) => Err(DsError::ShardMismatch(
+                "no shard map — not part of a sharded store".into(),
+            )),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Whether `name` is reserved for shard-internal objects.
+pub fn is_reserved(name: &[u8]) -> bool {
+    name.starts_with(RESERVED_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = ShardMap {
+            shard_count: 8,
+            shard_index: 3,
+            router_seed: 0xDEAD_BEEF_0BAD_F00D,
+        };
+        assert_eq!(ShardMap::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let m = ShardMap {
+            shard_count: 4,
+            shard_index: 1,
+            router_seed: 7,
+        };
+        let good = m.encode();
+
+        let mut bad_magic = good;
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            ShardMap::decode(&bad_magic),
+            Err(DsError::ShardMismatch(_))
+        ));
+
+        let mut bad_index = good;
+        bad_index[16..20].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            ShardMap::decode(&bad_index),
+            Err(DsError::ShardMismatch(_))
+        ));
+
+        assert!(matches!(
+            ShardMap::decode(&good[..16]),
+            Err(DsError::ShardMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn reserved_prefix_matches_map_name() {
+        assert!(is_reserved(SHARD_MAP_NAME));
+        assert!(!is_reserved(b"user-key"));
+        assert!(!is_reserved(b""));
+    }
+}

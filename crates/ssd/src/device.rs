@@ -82,7 +82,8 @@ impl SsdDevice {
     #[inline]
     fn check(&self, page: PageNo, count: usize) {
         assert!(
-            page.checked_add(count as u64).is_some_and(|end| end <= self.pages),
+            page.checked_add(count as u64)
+                .is_some_and(|end| end <= self.pages),
             "ssd access out of bounds: page={page} count={count} capacity={}",
             self.pages
         );
@@ -263,7 +264,10 @@ mod tests {
         d.simulate_crash();
         let mut buf = vec![0u8; PAGE_SIZE];
         d.read_pages(2, &mut buf);
-        assert!(buf.iter().all(|&b| b == 0x77), "device cache is power-loss protected");
+        assert!(
+            buf.iter().all(|&b| b == 0x77),
+            "device cache is power-loss protected"
+        );
     }
 
     #[test]

@@ -107,6 +107,9 @@ mod tests {
         let t = Instant::now();
         l.charge_write(16384);
         let large = t.elapsed();
-        assert!(large > small, "16KB ({large:?}) must cost more than 4KB ({small:?})");
+        assert!(
+            large > small,
+            "16KB ({large:?}) must cost more than 4KB ({small:?})"
+        );
     }
 }

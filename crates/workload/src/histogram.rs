@@ -180,8 +180,14 @@ mod tests {
         let p50 = h.percentile(50.0);
         let p99 = h.percentile(99.0);
         let p999 = h.percentile(99.9);
-        assert!((0.97..1.04).contains(&(p50 as f64 / 500_000.0)), "p50={p50}");
-        assert!((0.96..1.04).contains(&(p99 as f64 / 990_000.0)), "p99={p99}");
+        assert!(
+            (0.97..1.04).contains(&(p50 as f64 / 500_000.0)),
+            "p50={p50}"
+        );
+        assert!(
+            (0.96..1.04).contains(&(p99 as f64 / 990_000.0)),
+            "p99={p99}"
+        );
         assert!(p999 > p99);
         assert!(h.percentile(100.0) >= p999);
         let mean = h.mean();

@@ -55,8 +55,8 @@ impl ScrambledZipfian {
         } else {
             let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
             // ∫_{EXACT}^{n} x^-θ dx
-            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }
@@ -143,11 +143,11 @@ mod tests {
         let mut top: Vec<usize> = (0..10_000).collect();
         top.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
         let top5 = &top[..5];
-        let adjacent = top5
-            .windows(2)
-            .filter(|w| w[0].abs_diff(w[1]) == 1)
-            .count();
-        assert!(adjacent < 2, "popular keys suspiciously clustered: {top5:?}");
+        let adjacent = top5.windows(2).filter(|w| w[0].abs_diff(w[1]) == 1).count();
+        assert!(
+            adjacent < 2,
+            "popular keys suspiciously clustered: {top5:?}"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ fn main() {
 
     // Verify observable state in detail.
     let ctx = store.context();
-    assert!(ctx.get(b"stable/0000").is_err(), "deleted object stays deleted");
+    assert!(
+        ctx.get(b"stable/0000").is_err(),
+        "deleted object stays deleted"
+    );
     assert_eq!(ctx.get(b"stable/0299").unwrap(), vec![1u8; 2048]);
     assert_eq!(ctx.get(b"recent/0119").unwrap(), vec![2u8; 1024]);
     println!("all 419 objects verified — observationally equivalent state restored");

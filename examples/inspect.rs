@@ -25,7 +25,8 @@ fn main() {
     for i in 0..2000u32 {
         let key = format!("tenant{}/obj{:04}", i % 3, rng.gen_range(0..500));
         let size = rng.gen_range(64..6000);
-        ctx.put(key.as_bytes(), &vec![(i % 251) as u8; size]).unwrap();
+        ctx.put(key.as_bytes(), &vec![(i % 251) as u8; size])
+            .unwrap();
         if i % 17 == 0 {
             let victim = format!("tenant{}/obj{:04}", i % 3, rng.gen_range(0..500));
             let _ = ctx.delete(victim.as_bytes());
@@ -56,7 +57,12 @@ fn main() {
             bytes
         );
     }
-    println!("  {:<10} {:>5} objects {:>10} bytes (logical)\n", "total", names.len(), total_bytes);
+    println!(
+        "  {:<10} {:>5} objects {:>10} bytes (logical)\n",
+        "total",
+        names.len(),
+        total_bytes
+    );
 
     // Footprint across the storage tiers.
     let f = store.footprint();
@@ -69,9 +75,18 @@ fn main() {
     // Checkpoint machinery.
     if let Some(c) = store.checkpoint_stats() {
         println!("checkpoints:");
-        println!("  completed                 {:>12}", c.completed.into_inner());
-        println!("  records applied           {:>12}", c.records_applied.into_inner());
-        println!("  shadow bytes copied       {:>12}", c.bytes_copied.into_inner());
+        println!(
+            "  completed                 {:>12}",
+            c.completed.into_inner()
+        );
+        println!(
+            "  records applied           {:>12}",
+            c.records_applied.into_inner()
+        );
+        println!(
+            "  shadow bytes copied       {:>12}",
+            c.bytes_copied.into_inner()
+        );
         println!(
             "  last apply duration       {:>12.2} ms\n",
             c.last_apply_ns.into_inner() as f64 / 1e6
@@ -82,19 +97,43 @@ fn main() {
     let p = store.pmem().stats().snapshot();
     let s = store.ssd().stats().snapshot();
     println!("device traffic:");
-    println!("  PMEM flushes              {:>12} ({} B)", p.flush_ops, p.flush_bytes);
+    println!(
+        "  PMEM flushes              {:>12} ({} B)",
+        p.flush_ops, p.flush_bytes
+    );
     println!("  PMEM fences               {:>12}", p.fences);
     println!("  PMEM bulk writes          {:>12} B", p.bulk_write_bytes);
-    println!("  SSD writes                {:>12} ({} B)", s.write_ops, s.write_bytes);
-    println!("  SSD reads                 {:>12} ({} B)\n", s.read_ops, s.read_bytes);
+    println!(
+        "  SSD writes                {:>12} ({} B)",
+        s.write_ops, s.write_bytes
+    );
+    println!(
+        "  SSD reads                 {:>12} ({} B)\n",
+        s.read_ops, s.read_bytes
+    );
 
     // Operation counters.
     use std::sync::atomic::Ordering;
     let st = store.stats();
     println!("operations:");
-    println!("  puts                      {:>12}", st.puts.load(Ordering::Relaxed));
-    println!("  deletes                   {:>12}", st.deletes.load(Ordering::Relaxed));
-    println!("  ww conflicts retried      {:>12}", st.ww_conflicts.load(Ordering::Relaxed));
-    println!("  reader backoffs           {:>12}", st.rw_backoffs.load(Ordering::Relaxed));
-    println!("  log-full stalls           {:>12}", st.log_full_stalls.load(Ordering::Relaxed));
+    println!(
+        "  puts                      {:>12}",
+        st.puts.load(Ordering::Relaxed)
+    );
+    println!(
+        "  deletes                   {:>12}",
+        st.deletes.load(Ordering::Relaxed)
+    );
+    println!(
+        "  ww conflicts retried      {:>12}",
+        st.ww_conflicts.load(Ordering::Relaxed)
+    );
+    println!(
+        "  reader backoffs           {:>12}",
+        st.rw_backoffs.load(Ordering::Relaxed)
+    );
+    println!(
+        "  log-full stalls           {:>12}",
+        st.log_full_stalls.load(Ordering::Relaxed)
+    );
 }

@@ -58,8 +58,7 @@ fn main() {
                         assert!(!blob.is_empty());
                         read_hist.record(start.elapsed().as_nanos() as u64);
                     } else {
-                        ctx.put(key.as_bytes(), &session_blob(s, i as u64))
-                            .unwrap();
+                        ctx.put(key.as_bytes(), &session_blob(s, i as u64)).unwrap();
                         write_hist.record(start.elapsed().as_nanos() as u64);
                     }
                 }

@@ -23,7 +23,8 @@ fn main() {
     // Updates are durable the moment `put` returns: the logical log
     // record is flushed to (emulated) PMEM, the 4 KB data pages sit in
     // the SSD's power-loss-protected write cache.
-    ctx.put(b"users/alice", b"{\"plan\": \"enterprise\"}").unwrap();
+    ctx.put(b"users/alice", b"{\"plan\": \"enterprise\"}")
+        .unwrap();
 
     // Listing is ordered (the object index is a B-tree).
     for name in ctx.list() {
@@ -51,7 +52,10 @@ fn main() {
     let image = store.crash();
     let recovered = DStore::recover(image).expect("recover");
     let ctx = recovered.context();
-    assert_eq!(ctx.get(b"users/alice").unwrap(), b"{\"plan\": \"enterprise\"}");
+    assert_eq!(
+        ctx.get(b"users/alice").unwrap(),
+        b"{\"plan\": \"enterprise\"}"
+    );
     println!(
         "recovered {} object(s) in {:.2} ms",
         recovered.object_count(),

@@ -17,7 +17,8 @@ fn recovery_ignores_garbage_in_spare_shadow() {
     let store = small_manual();
     let ctx = store.context();
     for i in 0..50 {
-        ctx.put(format!("g{i}").as_bytes(), &vec![1u8; 700]).unwrap();
+        ctx.put(format!("g{i}").as_bytes(), &vec![1u8; 700])
+            .unwrap();
     }
     store.begin_checkpoint_swap_only();
     drop(ctx);
@@ -47,7 +48,8 @@ fn crash_before_first_checkpoint() {
     let store = small_manual();
     let ctx = store.context();
     for i in 0..30 {
-        ctx.put(format!("fresh{i}").as_bytes(), &vec![2u8; 512]).unwrap();
+        ctx.put(format!("fresh{i}").as_bytes(), &vec![2u8; 512])
+            .unwrap();
     }
     drop(ctx);
     let recovered = DStore::recover(store.crash()).unwrap();
@@ -104,7 +106,10 @@ fn many_crash_recover_cycles() {
     // that churn (delete/replace/recover cycles).
     let f = store.footprint();
     let used_pages = f.ssd_bytes / 4096;
-    let logical_pages: u64 = expected.values().map(|v| (v.len() as u64).div_ceil(4096)).sum();
+    let logical_pages: u64 = expected
+        .values()
+        .map(|v| (v.len() as u64).div_ceil(4096))
+        .sum();
     assert_eq!(
         used_pages,
         logical_pages + 1, // +1 superblock
@@ -144,7 +149,8 @@ fn prefix_listing_after_recovery() {
     let ctx = store.context();
     for tenant in ["a", "b"] {
         for i in 0..25 {
-            ctx.put(format!("{tenant}/k{i:02}").as_bytes(), b"v").unwrap();
+            ctx.put(format!("{tenant}/k{i:02}").as_bytes(), b"v")
+                .unwrap();
         }
     }
     drop(ctx);

@@ -32,7 +32,10 @@ fn ycsb_style_workload_with_crash() {
     for i in 0..2000u64 {
         match workload.next_op(&mut rng) {
             dstore_workload::YcsbOp::Read { key } => {
-                assert_eq!(ctx.get(&key).ok().as_deref(), model.get(&key).map(|v| &v[..]));
+                assert_eq!(
+                    ctx.get(&key).ok().as_deref(),
+                    model.get(&key).map(|v| &v[..])
+                );
             }
             dstore_workload::YcsbOp::Update { key, value_size } => {
                 let v = vec![(i % 251) as u8; value_size];
@@ -200,22 +203,26 @@ fn file_backed_store_reopens_from_disk() {
         let store = DStore::create(cfg.clone()).unwrap();
         let ctx = store.context();
         for i in 0..40 {
-            ctx.put(format!("disk{i}").as_bytes(), &vec![3u8; 3000]).unwrap();
+            ctx.put(format!("disk{i}").as_bytes(), &vec![3u8; 3000])
+                .unwrap();
         }
         drop(ctx);
         let _ = store.close(); // checkpoints + syncs the backing files
     }
     // Brand-new devices over the same files.
     let pool = Arc::new(
-        dstore_pmem::PoolBuilder::new(dstore_dipper::PmemLayout::new(&dstore_dipper::DipperConfig {
-            log_size: cfg.log_size,
-            shadow_size: cfg.shadow_size,
-            swap_threshold: cfg.swap_threshold,
-        }).total)
-            .mode(dstore_pmem::PersistenceMode::Strict)
-            .dax_file(dir.path().join("pool.pmem"))
-            .build()
-            .unwrap(),
+        dstore_pmem::PoolBuilder::new(
+            dstore_dipper::PmemLayout::new(&dstore_dipper::DipperConfig {
+                log_size: cfg.log_size,
+                shadow_size: cfg.shadow_size,
+                swap_threshold: cfg.swap_threshold,
+            })
+            .total,
+        )
+        .mode(dstore_pmem::PersistenceMode::Strict)
+        .dax_file(dir.path().join("pool.pmem"))
+        .build()
+        .unwrap(),
     );
     let ssd = Arc::new(
         dstore_ssd::SsdDevice::file_backed(&dir.path().join("data.ssd"), cfg.ssd_pages).unwrap(),
@@ -291,8 +298,11 @@ fn ablation_modes_are_observationally_equivalent() {
         let store = DStore::create(cfg).unwrap();
         let ctx = store.context();
         for i in 0..150u32 {
-            ctx.put(format!("m{}", i % 40).as_bytes(), &i.to_le_bytes().repeat(100))
-                .unwrap();
+            ctx.put(
+                format!("m{}", i % 40).as_bytes(),
+                &i.to_le_bytes().repeat(100),
+            )
+            .unwrap();
         }
         ctx.delete(b"m7").unwrap();
         drop(ctx);

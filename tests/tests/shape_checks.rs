@@ -109,7 +109,10 @@ fn dipper_never_quiesces_under_checkpoints() {
         .checkpoint_stats()
         .map(|c| c.completed.into_inner())
         .unwrap_or(0);
-    assert!(ckpts >= 2, "workload should force checkpoints (got {ckpts})");
+    assert!(
+        ckpts >= 2,
+        "workload should force checkpoints (got {ckpts})"
+    );
     let active = (start.elapsed().as_millis() / 100) as usize;
     for (b, &count) in intervals[..active.min(intervals.len())].iter().enumerate() {
         assert!(count > 0, "quiesced in interval {b} despite DIPPER");

@@ -1,0 +1,117 @@
+//! Offline shim for the `crossbeam` API subset this workspace uses:
+//! `crossbeam::channel::unbounded`, mapped onto `std::sync::mpsc`.
+//! See `third_party/README.md` for why these shims exist.
+
+/// Multi-producer channels (subset of `crossbeam-channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error: the receiving half was dropped.
+    pub struct SendError<T>(pub T);
+
+    // Manual impl so `T: Debug` is not required, matching upstream.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Error: the sending half was dropped and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Receiving half of an unbounded channel. Clonable for API parity
+    /// (each message is still delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<std::sync::Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when the queue is empty.
+        pub fn try_recv(&self) -> Option<T> {
+            let rx = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            rx.try_recv().ok()
+        }
+    }
+
+    /// Creates an unbounded MPMC-ish channel (MPSC underneath; receivers
+    /// share one queue).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(std::sync::Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(41).unwrap();
+            tx.send(42).unwrap();
+            assert_eq!(rx.recv(), Ok(41));
+            assert_eq!(rx.try_recv(), Some(42));
+            assert_eq!(rx.try_recv(), None);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn worker_thread_drains_jobs() {
+            let (tx, rx) = unbounded::<u32>();
+            let worker = std::thread::spawn(move || {
+                let mut sum = 0;
+                while let Ok(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            });
+            for i in 1..=10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(worker.join().unwrap(), 55);
+        }
+    }
+}

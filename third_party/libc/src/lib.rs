@@ -1,0 +1,69 @@
+//! Offline shim for the `libc` symbols this workspace uses: the
+//! `mmap`/`munmap`/`msync` family backing the emulated-DAX PMEM pools.
+//! Constants are Linux values (the only supported target of the
+//! emulation layer). See `third_party/README.md`.
+
+#![allow(non_camel_case_types)]
+
+/// Opaque C void.
+pub type c_void = core::ffi::c_void;
+/// C `int`.
+pub type c_int = i32;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `off_t` (LP64 Linux).
+pub type off_t = i64;
+
+/// Pages may be read.
+pub const PROT_READ: c_int = 0x1;
+/// Pages may be written.
+pub const PROT_WRITE: c_int = 0x2;
+/// Private copy-on-write mapping.
+pub const MAP_PRIVATE: c_int = 0x02;
+/// Shared mapping (writes reach the backing file).
+pub const MAP_SHARED: c_int = 0x01;
+/// Anonymous mapping (no backing file).
+pub const MAP_ANONYMOUS: c_int = 0x20;
+/// Synchronous `msync`.
+pub const MS_SYNC: c_int = 0x4;
+/// `mmap` failure sentinel.
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+extern "C" {
+    /// Maps files or devices into memory.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// Unmaps a mapped region.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    /// Synchronizes a mapped region with its backing file.
+    pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_mmap_roundtrip() {
+        unsafe {
+            let p = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 0xAB;
+            assert_eq!(*(p as *mut u8), 0xAB);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+}

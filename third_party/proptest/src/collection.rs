@@ -1,0 +1,52 @@
+//! Collection strategies (subset: `vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy for `Vec<S::Value>` with length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.start + 1 == self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Generates vectors of `element` values with length in `size` (half-open).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_span_the_range() {
+        let s = vec(0u8..10, 0..4);
+        let mut rng = TestRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(v.len() < 4);
+            seen[v.len()] = true;
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(seen.iter().all(|&b| b), "lengths seen: {seen:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline shim for the `proptest` API subset this workspace uses.
+//!
+//! Implements randomized property testing with deterministic per-test
+//! seeds: strategies (`Range`, tuples, [`strategy::Just`], `prop_map`,
+//! `prop_oneof!`, `collection::vec`, `any::<T>()`), the `proptest!`
+//! macro, and `prop_assert!`/`prop_assert_eq!`. Differences from real
+//! proptest: **no shrinking** (failures report the full generated input
+//! instead of a minimal counterexample), no regression-file persistence
+//! (`*.proptest-regressions` files are ignored), and seeds are derived
+//! from the test name so runs are reproducible without state. See
+//! `third_party/README.md`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror: `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Fails the surrounding property with a [`test_runner::TestCaseError`]
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            l
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((
+                ($weight) as u32,
+                ::std::boxed::Box::new({
+                    let s = $strat;
+                    move |rng: &mut $crate::test_runner::TestRng| {
+                        $crate::strategy::Strategy::new_value(&s, rng)
+                    }
+                }) as ::std::boxed::Box<
+                    dyn Fn(&mut $crate::test_runner::TestRng) -> _
+                >,
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)+
+                let input = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                #[allow(unused_mut)]
+                let mut case = move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                (case(), input)
+            });
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u8) -> Result<(), TestCaseError> {
+        prop_assert!(x < 200, "x={x}");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 0usize..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(
+            v in prop::collection::vec((0u8..4, any::<u64>()).prop_map(|(a, b)| (a, b % 7)), 1..20)
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 4 && b < 7);
+            }
+        }
+
+        #[test]
+        fn oneof_honours_arms(op in prop_oneof![
+            3 => (0u8..10).prop_map(|v| ("small", v)),
+            1 => Just(("just", 99u8)),
+        ]) {
+            let (tag, v): (&str, u8) = op;
+            prop_assert!(tag == "just" && v == 99 || tag == "small" && v < 10);
+        }
+
+        #[test]
+        fn question_mark_propagates(x in 0u8..100) {
+            helper(x)?;
+        }
+    }
+
+    // No `#[test]` attribute: this property is *meant* to fail and is
+    // invoked manually under catch_unwind below.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn always_fails(x in 0u8..4) {
+            prop_assert!(x > 100, "too small");
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_input() {
+        let r = std::panic::catch_unwind(always_fails);
+        let msg = format!("{:?}", r.unwrap_err().downcast_ref::<String>());
+        assert!(msg.contains("too small"), "{msg}");
+        assert!(msg.contains("x = "), "{msg}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Value-generation strategies (no shrinking).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree: `new_value` draws a
+/// concrete value directly, so failures are reported unshrunk.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value from `rng`.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + Copy + Debug,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+}
+
+/// One weighted arm of a [`Union`]: `(weight, generator)`.
+pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// Weighted choice between generators of one value type; built by
+/// `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, generator)` arms.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (w, gen) in &self.arms {
+            if pick < *w as u64 {
+                return gen(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick exceeded total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn union_respects_weights() {
+        let u: Union<u8> = Union::new(vec![(9, Box::new(|_| 0u8)), (1, Box::new(|_| 1u8))]);
+        let mut rng = TestRng::seed_from_u64(5);
+        let ones: usize = (0..10_000).map(|_| u.new_value(&mut rng) as usize).sum();
+        assert!((800..1200).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (0u8..4, 10u64..20).prop_map(|(a, b)| a as u64 + b);
+        let mut rng = TestRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let v = s.new_value(&mut rng);
+            assert!((10..24).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline shim for the `rayon` API subset this workspace uses:
+//! [`join`] and `Vec::into_par_iter().map(..).collect()` /
+//! `.for_each(..)` via the [`prelude`].
+//!
+//! Parallelism comes from `std::thread::scope` with a shared work queue
+//! sized to `available_parallelism`, not a global work-stealing pool.
+//! Results preserve input order and worker panics propagate to the
+//! caller, matching rayon's observable behaviour for these entry
+//! points. See `third_party/README.md`.
+
+use std::sync::Mutex;
+
+/// Common imports, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(items)
+}
+
+/// Order-preserving parallel map over owned items.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut queue: Vec<Option<(usize, T)>> = items.into_iter().enumerate().map(Some).collect();
+    queue.reverse();
+    let queue = Mutex::new(queue);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..worker_count(n))
+            .map(|_| {
+                s.spawn(|| loop {
+                    let next = queue.lock().unwrap().pop();
+                    match next.flatten() {
+                        Some((i, item)) => {
+                            let r = f(item);
+                            out.lock().unwrap()[i] = Some(r);
+                        }
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+    out.into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("parallel_map slot unfilled"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator (subset: owned `Vec<T>`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Collection from a parallel iterator (subset: `Vec`, `Result`-free).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from order-preserved mapped results.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator operations (subset: `map`, `for_each`, `collect`).
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Consumes the iterator into an ordered `Vec`.
+    fn into_ordered_vec(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        ParMap { source: self, f }
+    }
+
+    /// Runs `f` on each element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        parallel_map(self.into_ordered_vec(), f);
+    }
+
+    /// Gathers elements into a collection, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered(self.into_ordered_vec())
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn into_ordered_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazy parallel map; work runs at `collect`/`for_each`.
+pub struct ParMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, R, F> ParallelIterator for ParMap<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn into_ordered_vec(self) -> Vec<R> {
+        parallel_map(self.source.into_ordered_vec(), self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..100u64).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0..37usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            vec![1u8, 2, 3].into_par_iter().for_each(|x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline shim for the `tempfile` API subset this workspace uses:
+//! `tempfile::tempdir()` returning an RAII [`TempDir`].
+//! See `third_party/README.md`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A directory under the system temp dir, removed recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a uniquely named directory under `std::env::temp_dir()`.
+pub fn tempdir() -> std::io::Result<TempDir> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    // Nanosecond clock + process id + counter make collisions with other
+    // processes' leftovers effectively impossible; `create_dir` (not
+    // `create_dir_all`) still detects any that occur and retries.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    for _ in 0..1024 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".tmp-dstore-{pid}-{nanos}-{n}"));
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(std::io::Error::other("could not create unique temp dir"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_creates_and_cleans_up() {
+        let path;
+        {
+            let d = tempdir().unwrap();
+            path = d.path().to_path_buf();
+            assert!(path.is_dir());
+            std::fs::write(path.join("f"), b"x").unwrap();
+        }
+        assert!(!path.exists(), "dir not removed on drop");
+    }
+
+    #[test]
+    fn tempdirs_are_unique() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
