@@ -19,7 +19,7 @@
 //!    byte copies.
 //!
 //! The paper's DStore instantiates "a simple slab-based memory allocator
-//! [that] creates slabs in different size classes that are a power of two"
+//! \[that\] creates slabs in different size classes that are a power of two"
 //! (§4.2); [`slab::Arena`] is exactly that.
 
 #![warn(missing_docs)]

@@ -22,7 +22,7 @@
 //!   index and values live in PMEM, every update runs an undo-logged
 //!   transaction with cache-line flushes and fences. No checkpoints, flat
 //!   timeline, near-instant recovery — but every operation pays the
-//!   transaction tax, and PMEM's own tail latency (§5.4, [66]) shows up
+//!   transaction tax, and PMEM's own tail latency (§5.4, \[66\]) shows up
 //!   at p999+.
 //! * [`daxfs`] — metadata-update cost models for **xfs-DAX**, **ext4-DAX**
 //!   and **NOVA** (Figure 6).

@@ -33,7 +33,7 @@ pub struct UncachedConfig {
     /// One in `spike_one_in` flush sequences hits a device tail event.
     pub spike_one_in: u64,
     /// Spike duration in ns (Optane tail events are 100 µs – 10 ms class;
-    /// see [66] "An Empirical Guide to the Behavior and Use of Scalable
+    /// see \[66\] "An Empirical Guide to the Behavior and Use of Scalable
     /// Persistent Memory").
     pub spike_ns: u64,
     /// Emulated pointer-chase cost of the PMEM-resident index per

@@ -146,12 +146,53 @@ fn bench_store_ops(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The <5 % always-on telemetry budget: identical software-path ops
+    // with the per-op histograms on (default) vs off. Compare
+    // `telemetry_on`/`telemetry_off` medians to check the budget.
+    for on in [true, false] {
+        let cfg = DStoreConfig {
+            log_size: 64 << 20,
+            ssd_pages: 32 * 1024,
+            ..Default::default()
+        }
+        .with_telemetry(on);
+        let store = DStore::create(cfg).unwrap();
+        let ctx = store.context();
+        let value = vec![0u8; 4096];
+        for i in 0..1024 {
+            ctx.put(format!("k{i}").as_bytes(), &value).unwrap();
+        }
+        let mut g = c.benchmark_group(if on {
+            "dstore_telemetry_on"
+        } else {
+            "dstore_telemetry_off"
+        });
+        g.throughput(Throughput::Elements(1));
+        let mut i = 0u64;
+        g.bench_function("put_4k_update", |b| {
+            b.iter(|| {
+                i = (i + 1) % 1024;
+                ctx.put(format!("k{i}").as_bytes(), &value).unwrap()
+            })
+        });
+        g.bench_function("get_4k", |b| {
+            b.iter(|| {
+                i = (i + 1) % 1024;
+                ctx.get(format!("k{i}").as_bytes()).unwrap()
+            })
+        });
+        g.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_log, bench_btree, bench_arena, bench_pmem, bench_store_ops
+    targets = bench_log, bench_btree, bench_arena, bench_pmem, bench_store_ops,
+    bench_telemetry_overhead
 }
 criterion_main!(benches);

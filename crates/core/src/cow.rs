@@ -23,8 +23,12 @@
 //! checkpoints, reads do not — is the one the paper measures.
 
 use dstore_arena::{Arena, DramMemory, Memory};
+use dstore_dipper::checkpoint::{
+    CheckpointTelemetry, PHASE_APPLY, PHASE_FLUSH, PHASE_IDLE, PHASE_SWAP, PHASE_TRIGGER,
+};
 use dstore_dipper::{OpLog, PmemLayout, Root};
 use dstore_pmem::PmemPool;
+use dstore_telemetry::now_ns;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -65,6 +69,10 @@ struct CowInner {
     cv: Condvar,
     /// Checkpoints completed.
     completed: AtomicU64,
+    /// Phase-span sinks (same ring/cell the DIPPER engine would use).
+    telemetry: Mutex<Option<CheckpointTelemetry>>,
+    /// `now_ns` at which the current apply (page-copy) phase began.
+    apply_start: AtomicU64,
 }
 
 impl CowCheckpointer {
@@ -93,8 +101,16 @@ impl CowCheckpointer {
                 busy: Mutex::new(false),
                 cv: Condvar::new(),
                 completed: AtomicU64::new(0),
+                telemetry: Mutex::new(None),
+                apply_start: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Installs telemetry sinks; subsequent checkpoints record phase
+    /// spans into them. Intended to be called once at store assembly.
+    pub fn set_telemetry(&self, t: CheckpointTelemetry) {
+        *self.inner.telemetry.lock() = Some(t);
     }
 
     /// A second handle to the same CoW state (for trigger helper threads).
@@ -125,6 +141,11 @@ impl CowCheckpointer {
             }
             *busy = true;
         }
+        let tel = self.inner.telemetry.lock().clone();
+        if let Some(t) = &tel {
+            t.phase.set(PHASE_TRIGGER);
+        }
+        let t0 = now_ns();
         {
             // Quiesce: wait for in-flight ops, block new ones briefly.
             let _w = self.inner.drain.write();
@@ -137,6 +158,11 @@ impl CowCheckpointer {
             self.inner.snapshot_pages.store(pages, Ordering::SeqCst);
             self.inner.active.store(true, Ordering::SeqCst);
         }
+        if let Some(t) = &tel {
+            t.ring.record("trigger", t0, now_ns(), 0, 0);
+            t.phase.set(PHASE_APPLY);
+        }
+        self.inner.apply_start.store(now_ns(), Ordering::Relaxed);
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name("dstore-cow-copy".into())
@@ -224,9 +250,31 @@ impl CowInner {
     }
 
     fn finalize(&self) {
+        let tel = self.telemetry.lock().clone();
+        let bytes = (self.snapshot_pages.load(Ordering::Relaxed) * PAGE) as u64;
+        if let Some(t) = &tel {
+            t.ring.record(
+                "apply",
+                self.apply_start.load(Ordering::Relaxed),
+                now_ns(),
+                bytes,
+                0,
+            );
+            t.phase.set(PHASE_FLUSH);
+        }
+        let t_flush = now_ns();
         self.pool.fence();
+        if let Some(t) = &tel {
+            t.ring.record("flush", t_flush, now_ns(), bytes, 0);
+            t.phase.set(PHASE_SWAP);
+        }
+        let t_swap = now_ns();
         self.root.commit_checkpoint();
         let _ = self.pool.sync_backing_file();
+        if let Some(t) = &tel {
+            t.ring.record("swap", t_swap, now_ns(), 0, 0);
+            t.phase.set(PHASE_IDLE);
+        }
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.active.store(false, Ordering::Release);
         let mut busy = self.busy.lock();

@@ -2,7 +2,7 @@
 //!
 //! | Paper                      | Here                                    |
 //! |----------------------------|-----------------------------------------|
-//! | `ds_init` / `ds_finalize`  | [`DStore::context`] / drop              |
+//! | `ds_init` / `ds_finalize`  | [`DStore::context`](crate::DStore::context) / drop |
 //! | `oput` / `oget` / `odelete`| [`DsContext::put`] / [`DsContext::get`] / [`DsContext::delete`] |
 //! | `oopen` / `oclose`         | [`DsContext::open`] / drop              |
 //! | `oread` / `owrite`         | [`ObjectHandle::read`] / [`ObjectHandle::write`] |
@@ -140,6 +140,9 @@ impl DsContext {
             bd.log_flush_ns += commit_ns;
             bd.total_ns = t_total.elapsed().as_nanos() as u64;
         }
+        if let Some(tel) = &inner.telemetry {
+            tel.op_put.record(t_total.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -147,6 +150,7 @@ impl DsContext {
     pub fn get(&self, key: &[u8]) -> DsResult<Vec<u8>> {
         Self::check_name(key)?;
         let inner = &self.inner;
+        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
         let _drain = inner.drain.read();
         loop {
             // Read-write CC (§4.4): register as a reader, then back off if
@@ -168,6 +172,9 @@ impl DsContext {
             let mut out = vec![0u8; size as usize];
             self.read_blocks(&blocks, &mut out);
             inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+            if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
+                tel.op_get.record(t0.elapsed().as_nanos() as u64);
+            }
             return Ok(out);
         }
     }
@@ -176,6 +183,7 @@ impl DsContext {
     pub fn delete(&self, key: &[u8]) -> DsResult<()> {
         Self::check_name(key)?;
         let inner = &self.inner;
+        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
         let (handle, _lsn, _plan) = self.mutate_plan(
             key,
             |d, log_mode| match log_mode {
@@ -212,6 +220,9 @@ impl DsContext {
         inner.log.commit(handle);
         inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
         inner.maybe_checkpoint();
+        if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
+            tel.op_delete.record(t0.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -612,6 +623,7 @@ impl ObjectHandle<'_> {
     /// read (clamped at the object end).
     pub fn read(&self, buf: &mut [u8], offset: u64) -> DsResult<usize> {
         let inner = &self.ctx.inner;
+        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
         let _drain = inner.drain.read();
         loop {
             let _guard = inner.readers.begin_read(&self.name);
@@ -629,6 +641,9 @@ impl ObjectHandle<'_> {
                 (size, blocks)
             };
             if offset >= size {
+                if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
+                    tel.op_oread.record(t0.elapsed().as_nanos() as u64);
+                }
                 return Ok(0);
             }
             let d = inner.domain();
@@ -651,6 +666,9 @@ impl ObjectHandle<'_> {
                 done += take;
             }
             inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+            if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
+                tel.op_oread.record(t0.elapsed().as_nanos() as u64);
+            }
             return Ok(n);
         }
     }
@@ -662,6 +680,7 @@ impl ObjectHandle<'_> {
             return Err(DsError::BadMode);
         }
         let inner = &self.ctx.inner;
+        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
         let len = data.len() as u64;
         let (handle, lsn, plan) = self.ctx.mutate_plan(
             &self.name,
@@ -703,6 +722,9 @@ impl ObjectHandle<'_> {
         inner.log.commit(handle);
         inner.stats.writes.fetch_add(1, Ordering::Relaxed);
         inner.maybe_checkpoint();
+        if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
+            tel.op_owrite.record(t0.elapsed().as_nanos() as u64);
+        }
         Ok(data.len())
     }
 }

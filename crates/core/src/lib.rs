@@ -53,9 +53,11 @@ pub mod ops;
 pub mod stats;
 pub mod store;
 pub mod structures;
+pub mod telemetry;
 
 pub use config::{CheckpointMode, DStoreConfig, LoggingMode};
 pub use ctx::{DsContext, DsLock, ObjectHandle, ObjectStat, OpenMode};
 pub use error::{DsError, DsResult};
 pub use stats::{Footprint, StatsSnapshot, StoreStats, WriteBreakdown};
 pub use store::{CrashImage, DStore, RecoveryReport};
+pub use telemetry::HealthSnapshot;

@@ -44,6 +44,7 @@ impl StoreStats {
     /// — fine for reporting, not for invariant checks.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
+            elapsed_ns: dstore_telemetry::now_ns(),
             puts: self.puts.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
@@ -59,6 +60,11 @@ impl StoreStats {
 /// Plain-integer copy of [`StoreStats`], mergeable across shards.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// When the snapshot was taken, in process-monotonic nanoseconds
+    /// ([`dstore_telemetry::now_ns`]) — the anchor that turns two
+    /// snapshots into an ops/s rate. [`StatsSnapshot::merge`] keeps the
+    /// latest anchor, so a fleet-merged snapshot diffs correctly too.
+    pub elapsed_ns: u64,
     /// Completed put/create operations.
     pub puts: u64,
     /// Completed get operations.
@@ -83,8 +89,18 @@ impl StatsSnapshot {
         self.puts + self.gets + self.deletes + self.writes + self.reads
     }
 
+    /// Operations per second between `earlier` and this snapshot
+    /// (0.0 on an empty interval).
+    pub fn rate_since(&self, earlier: &StatsSnapshot) -> f64 {
+        dstore_telemetry::rate_per_sec(
+            self.total_ops().saturating_sub(earlier.total_ops()),
+            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        )
+    }
+
     /// Accumulates another snapshot (shard aggregation).
     pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.elapsed_ns = self.elapsed_ns.max(other.elapsed_ns);
         self.puts += other.puts;
         self.gets += other.gets;
         self.deletes += other.deletes;
@@ -241,8 +257,35 @@ mod tests {
         acc.merge(&a);
         assert_eq!(acc.puts, 6);
         assert_eq!(acc.ww_conflicts, 2);
-        // The live counters are untouched by snapshot/merge.
-        assert_eq!(s.snapshot(), a);
+        // Merging keeps the latest time anchor, not the sum.
+        assert_eq!(acc.elapsed_ns, a.elapsed_ns);
+        // The live counters are untouched by snapshot/merge (the time
+        // anchor of a later snapshot necessarily moves forward).
+        let again = StatsSnapshot {
+            elapsed_ns: a.elapsed_ns,
+            ..s.snapshot()
+        };
+        assert_eq!(again, a);
+    }
+
+    #[test]
+    fn rate_since_uses_the_monotonic_anchor() {
+        let earlier = StatsSnapshot {
+            elapsed_ns: 1_000_000_000,
+            puts: 100,
+            ..Default::default()
+        };
+        let later = StatsSnapshot {
+            elapsed_ns: 3_000_000_000,
+            puts: 100,
+            gets: 500,
+            ..Default::default()
+        };
+        // 500 new ops over 2 seconds.
+        assert!((later.rate_since(&earlier) - 250.0).abs() < 1e-9);
+        // Wrong-direction and zero-width diffs degrade to 0, not NaN.
+        assert_eq!(earlier.rate_since(&later), 0.0);
+        assert_eq!(later.rate_since(&later), 0.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::ctx::DsContext;
 use crate::error::{DsError, DsResult};
 use crate::stats::{Footprint, StoreStats};
 use crate::structures::{Directory, Domain};
+use crate::telemetry::{HealthSnapshot, StoreTelemetry};
 use dstore_arena::{Arena, DramMemory, PmemRange, RelPtr};
 use dstore_dipper::checkpoint::{apply_checkpoint, Applier, CheckpointStats};
 use dstore_dipper::layout::{LOG_HEADER_SIZE, ROOT_SIZE};
@@ -106,6 +107,8 @@ pub(crate) struct StoreInner {
     pub cow: Option<CowCheckpointer>,
     pub stats: StoreStats,
     pub recovery: RecoveryReport,
+    /// Always-on telemetry (None when `cfg.telemetry` is off).
+    pub telemetry: Option<Arc<StoreTelemetry>>,
 }
 
 impl StoreInner {
@@ -251,6 +254,7 @@ impl DStore {
         shadow0.persist_allocated();
         root.set_app_dir(dir.offset());
 
+        let telemetry = cfg.telemetry.then(|| Arc::new(StoreTelemetry::new()));
         Ok(Self {
             inner: Self::assemble(
                 cfg,
@@ -262,6 +266,7 @@ impl DStore {
                 dram,
                 dir,
                 RecoveryReport::default(),
+                telemetry,
             ),
         })
     }
@@ -277,34 +282,39 @@ impl DStore {
         dram: Arc<Arena<DramMemory>>,
         dir: RelPtr<Directory>,
         recovery: RecoveryReport,
+        telemetry: Option<Arc<StoreTelemetry>>,
     ) -> Arc<StoreInner> {
         let drain = Arc::new(RwLock::new(()));
         let stall_timeout = cfg.stall_timeout;
         let (ckpt, cow) = match cfg.checkpoint {
             CheckpointMode::Dipper => {
                 let applier = make_applier(&pool, layout, dir);
-                (
-                    Some(Checkpointer::new(
-                        Arc::clone(&pool),
-                        layout,
-                        Arc::clone(&root),
-                        Arc::clone(&log),
-                        applier,
-                    )),
-                    None,
-                )
+                let c = Checkpointer::new(
+                    Arc::clone(&pool),
+                    layout,
+                    Arc::clone(&root),
+                    Arc::clone(&log),
+                    applier,
+                );
+                if let Some(t) = &telemetry {
+                    c.set_telemetry(t.ckpt.clone());
+                }
+                (Some(c), None)
             }
-            CheckpointMode::Cow => (
-                None,
-                Some(CowCheckpointer::new(
+            CheckpointMode::Cow => {
+                let c = CowCheckpointer::new(
                     Arc::clone(&pool),
                     layout,
                     Arc::clone(&root),
                     Arc::clone(&log),
                     Arc::clone(&dram),
                     Arc::clone(&drain),
-                )),
-            ),
+                );
+                if let Some(t) = &telemetry {
+                    c.set_telemetry(t.ckpt.clone());
+                }
+                (None, Some(c))
+            }
         };
         Arc::new(StoreInner {
             cfg,
@@ -325,6 +335,7 @@ impl DStore {
             cow,
             stats: StoreStats::new(),
             recovery,
+            telemetry,
         })
     }
 
@@ -463,6 +474,94 @@ impl DStore {
         &self.inner.stats
     }
 
+    /// Full telemetry snapshot: per-op latency histograms, checkpoint and
+    /// recovery phase spans, gauges (log fill, arena high-water, SSD
+    /// blocks in use), operation/device counters. `None` when the store
+    /// was created with `telemetry = false`.
+    ///
+    /// Render the result with `dstore_telemetry::to_prometheus` or
+    /// `dstore_telemetry::to_json`.
+    pub fn telemetry_snapshot(&self) -> Option<dstore_telemetry::TelemetrySnapshot> {
+        let tel = self.inner.telemetry.as_ref()?;
+        // Refresh the gauges the registry cannot compute itself.
+        tel.log_used.set(self.inner.log.used_fraction());
+        tel.arena_high_water
+            .set(self.inner.dram.stats().high_water as f64);
+        let domain = self.inner.domain();
+        let ppb = domain.pages_per_block();
+        let capacity = (self.inner.cfg.ssd_pages - 1) / ppb;
+        tel.ssd_blocks_used
+            .set((capacity - domain.pool_free()) as f64);
+        tel.ckpt_phase_gauge.set(tel.ckpt.phase.index() as f64);
+
+        let mut snap = tel.registry.snapshot();
+        // Operation and backpressure counters (kept in StoreStats, which
+        // predates the registry; exported under stable metric names).
+        let s = self.inner.stats.snapshot();
+        let op = |name: &str| vec![("op".to_string(), name.to_string())];
+        snap.push_counter("dstore_ops_total", op("put"), s.puts);
+        snap.push_counter("dstore_ops_total", op("get"), s.gets);
+        snap.push_counter("dstore_ops_total", op("delete"), s.deletes);
+        snap.push_counter("dstore_ops_total", op("owrite"), s.writes);
+        snap.push_counter("dstore_ops_total", op("oread"), s.reads);
+        snap.push_counter("dstore_ww_conflicts_total", vec![], s.ww_conflicts);
+        snap.push_counter("dstore_rw_backoffs_total", vec![], s.rw_backoffs);
+        snap.push_counter("dstore_log_full_stalls_total", vec![], s.log_full_stalls);
+        snap.push_counter(
+            "dstore_checkpoints_completed_total",
+            vec![],
+            self.checkpoints_completed(),
+        );
+        // Device traffic.
+        let p = self.inner.pool.stats().snapshot();
+        snap.push_counter("dstore_pmem_flush_bytes_total", vec![], p.flush_bytes);
+        snap.push_counter(
+            "dstore_pmem_bulk_write_bytes_total",
+            vec![],
+            p.bulk_write_bytes,
+        );
+        snap.push_counter(
+            "dstore_pmem_bulk_read_bytes_total",
+            vec![],
+            p.bulk_read_bytes,
+        );
+        let d = self.inner.ssd.stats().snapshot();
+        snap.push_counter("dstore_ssd_write_bytes_total", vec![], d.write_bytes);
+        snap.push_counter("dstore_ssd_read_bytes_total", vec![], d.read_bytes);
+        Some(snap)
+    }
+
+    /// The checkpoint phase currently in flight (`"idle"` when none, or
+    /// when telemetry is disabled).
+    pub fn checkpoint_phase(&self) -> &'static str {
+        self.inner
+            .telemetry
+            .as_ref()
+            .map(|t| t.ckpt.phase.name())
+            .unwrap_or("idle")
+    }
+
+    /// Coarse health summary — checkpoint panics, phase in flight, log
+    /// fill, and stall counters. Panic/span accounting requires
+    /// `telemetry = true` (the default); the rest is always live.
+    pub fn health(&self) -> HealthSnapshot {
+        let tel = self.inner.telemetry.as_ref();
+        HealthSnapshot {
+            checkpoint_panics: tel.map(|t| t.ckpt.panics.get()).unwrap_or(0),
+            checkpoint_phase: self.checkpoint_phase(),
+            checkpoints_completed: self.checkpoints_completed(),
+            log_used_fraction: self.inner.log.used_fraction(),
+            log_full_stalls: self
+                .inner
+                .stats
+                .log_full_stalls
+                .load(std::sync::atomic::Ordering::Relaxed),
+            spans_dropped: tel
+                .map(|t| t.ckpt.ring.dropped() + t.recovery_ring.dropped())
+                .unwrap_or(0),
+        }
+    }
+
     /// What the last recovery did (zeroes for a fresh store).
     pub fn recovery_report(&self) -> RecoveryReport {
         self.inner.recovery
@@ -560,20 +659,39 @@ impl DStore {
         }
 
         let dir: RelPtr<Directory> = RelPtr::from_offset(root.app_dir());
+        let telemetry = cfg.telemetry.then(|| Arc::new(StoreTelemetry::new()));
+        let rec_span = |name: &'static str, start: u64, a: u64, b: u64| {
+            if let Some(t) = &telemetry {
+                t.recovery_ring
+                    .record(name, start, dstore_telemetry::now_ns(), a, b);
+            }
+        };
         let plan = recover_scan(&pool, &layout, &root);
         let mut report = RecoveryReport::default();
 
         let t_meta = Instant::now();
         // Step 1: redo the interrupted checkpoint on the old shadow image.
         if let Some(redo) = &plan.redo_records {
+            let t0 = dstore_telemetry::now_ns();
             let applier = make_applier(&pool, layout, dir);
             let stats = dstore_dipper::CheckpointStats::default();
-            apply_checkpoint(&pool, &layout, &root, &applier, redo, &stats);
+            let ckpt_tel = telemetry.as_ref().map(|t| t.ckpt.clone());
+            apply_checkpoint(
+                &pool,
+                &layout,
+                &root,
+                &applier,
+                redo,
+                &stats,
+                ckpt_tel.as_ref(),
+            );
             report.redo_checkpoint = true;
             report.redo_records = redo.len();
+            rec_span("redo", t0, 0, redo.len() as u64);
         }
         // Step 2: reconstruct the volatile space from the (now consistent)
         // checkpoint image.
+        let t_copy = dstore_telemetry::now_ns();
         let state = root.state();
         let shadow = Arena::attach(PmemRange::new(
             Arc::clone(&pool),
@@ -585,9 +703,11 @@ impl DStore {
         pool.bulk_read_charge(shadow.allocated_len());
         shadow.copy_allocated_to(&dram);
         report.metadata_ns = t_meta.elapsed().as_nanos() as u64;
+        rec_span("copy", t_copy, shadow.allocated_len() as u64, 0);
 
         // Step 3: replay committed active-log records as new requests.
         let t_replay = Instant::now();
+        let t_rp = dstore_telemetry::now_ns();
         {
             let domain = Domain::attach(&dram, dir);
             for r in &plan.replay_records {
@@ -596,13 +716,16 @@ impl DStore {
             report.replayed_records = plan.replay_records.len();
         }
         report.replay_ns = t_replay.elapsed().as_nanos() as u64;
+        rec_span("replay", t_rp, 0, plan.replay_records.len() as u64);
 
         // Step 4: resume — volatile log state, fresh CC state.
         let mut log = plan.finish(Arc::clone(&pool), layout);
         log.set_stall_timeout(cfg.stall_timeout);
         let log = Arc::new(log);
         Ok(Self {
-            inner: Self::assemble(cfg, layout, pool, ssd, root, log, dram, dir, report),
+            inner: Self::assemble(
+                cfg, layout, pool, ssd, root, log, dram, dir, report, telemetry,
+            ),
         })
     }
 

@@ -1,0 +1,100 @@
+//! Store-level telemetry: the per-op histograms, phase rings, and gauge
+//! handles a [`crate::DStore`] records into, plus the [`HealthSnapshot`]
+//! summary.
+//!
+//! Created when [`crate::DStoreConfig::telemetry`] is on (the default)
+//! and shared with the checkpoint engines (DIPPER's worker and the CoW
+//! copier record phase spans into the same ring). Everything recorded on
+//! an op path is a relaxed atomic — the registry lock is touched only at
+//! registration (store assembly) and snapshot time.
+
+use dstore_dipper::checkpoint::{CheckpointTelemetry, CHECKPOINT_PHASES};
+use dstore_telemetry::{Gauge, LatencyHistogram, MetricsRegistry, PhaseCell, SpanRing};
+use std::sync::Arc;
+
+/// Spans kept per checkpoint ring (4 phases × 64 checkpoints).
+const CKPT_RING_CAPACITY: usize = 256;
+/// Spans kept for recovery (one recovery records 3).
+const RECOVERY_RING_CAPACITY: usize = 32;
+
+/// All telemetry handles of one store. Cheap to clone handles out of;
+/// the registry owns the canonical series set.
+pub(crate) struct StoreTelemetry {
+    /// The registry every handle below is registered in.
+    pub registry: MetricsRegistry,
+    /// Latency of `put` (`oput`), ns.
+    pub op_put: Arc<LatencyHistogram>,
+    /// Latency of `get` (`oget`), ns.
+    pub op_get: Arc<LatencyHistogram>,
+    /// Latency of `delete` (`odelete`), ns.
+    pub op_delete: Arc<LatencyHistogram>,
+    /// Latency of `ObjectHandle::write` (`owrite`), ns.
+    pub op_owrite: Arc<LatencyHistogram>,
+    /// Latency of `ObjectHandle::read` (`oread`), ns.
+    pub op_oread: Arc<LatencyHistogram>,
+    /// Checkpoint phase sinks, shared with the checkpoint engine.
+    pub ckpt: CheckpointTelemetry,
+    /// Gauge mirroring `ckpt.phase` for exporters (index into
+    /// [`CHECKPOINT_PHASES`]).
+    pub ckpt_phase_gauge: Arc<Gauge>,
+    /// Recovery phase spans (`redo` / `copy` / `replay`).
+    pub recovery_ring: Arc<SpanRing>,
+    /// Active-log fill fraction, refreshed at snapshot time.
+    pub log_used: Arc<Gauge>,
+    /// DRAM arena high-water mark in bytes, refreshed at snapshot time.
+    pub arena_high_water: Arc<Gauge>,
+    /// SSD allocation blocks in use, refreshed at snapshot time.
+    pub ssd_blocks_used: Arc<Gauge>,
+}
+
+impl StoreTelemetry {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let hist = |op: &str| registry.histogram("dstore_op_latency_ns", &[("op", op)]);
+        let ckpt = CheckpointTelemetry {
+            ring: registry.span_ring("dstore_checkpoint_spans", &[], CKPT_RING_CAPACITY),
+            phase: Arc::new(PhaseCell::new(CHECKPOINT_PHASES)),
+            panics: registry.counter("dstore_checkpoint_panics_total", &[]),
+        };
+        Self {
+            op_put: hist("put"),
+            op_get: hist("get"),
+            op_delete: hist("delete"),
+            op_owrite: hist("owrite"),
+            op_oread: hist("oread"),
+            ckpt,
+            ckpt_phase_gauge: registry.gauge("dstore_checkpoint_phase", &[]),
+            recovery_ring: registry.span_ring("dstore_recovery_spans", &[], RECOVERY_RING_CAPACITY),
+            log_used: registry.gauge("dstore_log_used_fraction", &[]),
+            arena_high_water: registry.gauge("dstore_arena_high_water_bytes", &[]),
+            ssd_blocks_used: registry.gauge("dstore_ssd_blocks_used", &[]),
+            registry,
+        }
+    }
+}
+
+/// A coarse liveness/health summary — the first thing to look at when a
+/// store misbehaves. Available from [`crate::DStore::health`] whether or
+/// not full telemetry is enabled (panic and span accounting need
+/// `telemetry = true`, the default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// Checkpoint apply-phase panics caught on the worker thread. Any
+    /// non-zero value is an alarm: the store stays consistent (the root
+    /// never committed) but the archived log is no longer draining, so
+    /// the next swap will stall once both logs fill.
+    pub checkpoint_panics: u64,
+    /// The checkpoint phase currently in flight (see
+    /// `dstore_dipper::checkpoint::CHECKPOINT_PHASES`; `"idle"` when
+    /// none).
+    pub checkpoint_phase: &'static str,
+    /// Checkpoints completed since creation/recovery.
+    pub checkpoints_completed: u64,
+    /// Active-log fill fraction in [0, 1].
+    pub log_used_fraction: f64,
+    /// Appends that had to stall on a completely full log.
+    pub log_full_stalls: u64,
+    /// Phase spans dropped because the ring lapped a stalled writer
+    /// (diagnostic for the telemetry itself; normally 0).
+    pub spans_dropped: u64,
+}

@@ -25,10 +25,43 @@ use crate::record::OwnedRecord;
 use crate::root::Root;
 use dstore_arena::{Arena, PmemRange};
 use dstore_pmem::PmemPool;
+use dstore_telemetry::{now_ns, Counter, PhaseCell, SpanRing};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Phase-name table for the checkpoint [`PhaseCell`]; index 0 is idle.
+pub static CHECKPOINT_PHASES: &[&str] = &["idle", "trigger", "apply", "flush", "swap"];
+
+/// Index into [`CHECKPOINT_PHASES`]: no checkpoint in flight.
+pub const PHASE_IDLE: usize = 0;
+/// Index into [`CHECKPOINT_PHASES`]: log swap on the triggering thread.
+pub const PHASE_TRIGGER: usize = 1;
+/// Index into [`CHECKPOINT_PHASES`]: shadow copy + record replay.
+pub const PHASE_APPLY: usize = 2;
+/// Index into [`CHECKPOINT_PHASES`]: persisting the new shadow image.
+pub const PHASE_FLUSH: usize = 3;
+/// Index into [`CHECKPOINT_PHASES`]: atomic root commit.
+pub const PHASE_SWAP: usize = 4;
+
+/// Telemetry sinks for checkpoint observability, installed by the
+/// embedding store via [`Checkpointer::set_telemetry`]. All sinks are
+/// lock-free to record into, so attaching them does not perturb the
+/// phases they measure.
+#[derive(Debug, Clone)]
+pub struct CheckpointTelemetry {
+    /// Completed phase spans (trigger/apply/flush/swap), with payload
+    /// words `a` = bytes processed, `b` = records applied.
+    pub ring: Arc<SpanRing>,
+    /// Which phase is in flight right now (indexes [`CHECKPOINT_PHASES`]).
+    pub phase: Arc<PhaseCell>,
+    /// Apply-phase panics caught on the checkpoint worker. A non-zero
+    /// value means a checkpoint was abandoned mid-apply — the store is
+    /// still consistent (the root never committed) but the log is no
+    /// longer draining; surfaced through the store's health snapshot.
+    pub panics: Arc<Counter>,
+}
 
 /// Replays committed records onto the shadow structures in the given
 /// shadow region (0/1). Supplied by the application (DStore); must be
@@ -71,6 +104,7 @@ struct CheckpointInner {
     busy: Mutex<bool>,
     cv: Condvar,
     stats: CheckpointStats,
+    telemetry: Mutex<Option<CheckpointTelemetry>>,
     tx: Mutex<Option<crossbeam::channel::Sender<Job>>>,
 }
 
@@ -93,6 +127,7 @@ impl Checkpointer {
             busy: Mutex::new(false),
             cv: Condvar::new(),
             stats: CheckpointStats::default(),
+            telemetry: Mutex::new(None),
             tx: Mutex::new(Some(tx)),
         });
         let w_inner = Arc::clone(&inner);
@@ -114,6 +149,10 @@ impl Checkpointer {
                             w_inner.cv.notify_all();
                             drop(busy);
                             if let Err(e) = r {
+                                if let Some(t) = w_inner.telemetry.lock().as_ref() {
+                                    t.panics.inc();
+                                    t.phase.set(PHASE_IDLE);
+                                }
                                 eprintln!("dipper checkpoint apply panicked: {e:?}");
                             }
                         }
@@ -131,6 +170,12 @@ impl Checkpointer {
     /// Counters.
     pub fn stats(&self) -> &CheckpointStats {
         &self.inner.stats
+    }
+
+    /// Installs telemetry sinks; subsequent checkpoints record phase
+    /// spans into them. Intended to be called once at store assembly.
+    pub fn set_telemetry(&self, t: CheckpointTelemetry) {
+        *self.inner.telemetry.lock() = Some(t);
     }
 
     /// Whether a checkpoint is currently running.
@@ -157,9 +202,17 @@ impl Checkpointer {
         if st.checkpoint_in_progress {
             self.inner.run_apply(st.archived_log());
         }
+        let tel = self.inner.telemetry.lock().clone();
+        if let Some(t) = &tel {
+            t.phase.set(PHASE_TRIGGER);
+        }
+        let t0 = now_ns();
         let archived = self.inner.log.swap(|| {
             self.inner.root.begin_checkpoint();
         });
+        if let Some(t) = &tel {
+            t.ring.record("trigger", t0, now_ns(), 0, 0);
+        }
         let tx = self.inner.tx.lock();
         tx.as_ref()
             .expect("checkpointer shut down")
@@ -216,6 +269,7 @@ impl Drop for Checkpointer {
 impl CheckpointInner {
     fn run_apply(&self, archived: usize) {
         let records = self.log.committed_records(archived);
+        let tel = self.telemetry.lock().clone();
         apply_checkpoint(
             &self.pool,
             &self.layout,
@@ -223,6 +277,7 @@ impl CheckpointInner {
             &self.applier,
             &records,
             &self.stats,
+            tel.as_ref(),
         );
     }
 }
@@ -240,11 +295,25 @@ pub fn apply_checkpoint(
     applier: &Applier,
     records: &[OwnedRecord],
     stats: &CheckpointStats,
+    telemetry: Option<&CheckpointTelemetry>,
 ) {
     let t0 = Instant::now();
+    let enter = |idx: usize| {
+        if let Some(t) = telemetry {
+            t.phase.set(idx);
+        }
+    };
+    let span = |name: &'static str, start: u64, a: u64, b: u64| {
+        if let Some(t) = telemetry {
+            t.ring.record(name, start, now_ns(), a, b);
+        }
+    };
     let state = root.state();
     let cur = state.current_shadow;
     let spare = state.spare_shadow();
+
+    enter(PHASE_APPLY);
+    let t_apply = now_ns();
 
     // 1. New copy of the shadow copies (idempotency): bulk copy of the
     //    allocated prefix at identical offsets — RelPtrs stay valid.
@@ -274,15 +343,23 @@ pub fn apply_checkpoint(
     stats
         .records_applied
         .fetch_add(records.len() as u64, Ordering::Relaxed);
+    span("apply", t_apply, copy_len as u64, records.len() as u64);
 
     // 3. Durability: iterate over all allocated memory and flush it.
+    enter(PHASE_FLUSH);
+    let t_flush = now_ns();
     let dst = Arena::attach(dst_range).expect("copied shadow is a valid arena");
     dst.persist_allocated();
+    span("flush", t_flush, dst.allocated_len() as u64, 0);
 
     // 4. Atomic commit: flip current shadow, clear in-progress — one
     //    persisted 8-byte store.
+    enter(PHASE_SWAP);
+    let t_swap = now_ns();
     root.commit_checkpoint();
     let _ = pool.sync_backing_file();
+    span("swap", t_swap, 0, 0);
+    enter(PHASE_IDLE);
 
     stats.completed.fetch_add(1, Ordering::Relaxed);
     stats

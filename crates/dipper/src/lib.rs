@@ -30,7 +30,9 @@ pub mod record;
 pub mod recovery;
 pub mod root;
 
-pub use checkpoint::{Applier, CheckpointStats, Checkpointer};
+pub use checkpoint::{
+    Applier, CheckpointStats, CheckpointTelemetry, Checkpointer, CHECKPOINT_PHASES,
+};
 pub use layout::PmemLayout;
 pub use log::{AppendResult, OpLog, RecordHandle};
 pub use record::{OwnedRecord, COMMIT_ABORTED, COMMIT_COMMITTED, COMMIT_PENDING, OP_NOOP};

@@ -191,6 +191,7 @@ fn crash_mid_checkpoint_redo_produces_same_image() {
         &applier,
         &redo,
         &stats,
+        None,
     );
     let st = mini.root.state();
     assert!(!st.checkpoint_in_progress);
@@ -307,6 +308,71 @@ fn frontend_progresses_during_background_checkpoint() {
         assert_eq!(dram_slots.iter().sum::<u64>(), 2000);
         assert_eq!(dram_slots, shadow_slots);
     }
+}
+
+#[test]
+fn apply_panic_is_counted_and_releases_the_store() {
+    use dstore_dipper::checkpoint::{CheckpointTelemetry, CHECKPOINT_PHASES};
+    use dstore_telemetry::{Counter, PhaseCell, SpanRing};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mini = mini_create(&small_cfg());
+    let boom = Arc::new(AtomicBool::new(true));
+    let good = applier_for(&mini.pool, mini.layout, mini.dir);
+    let applier: Applier = {
+        let boom = Arc::clone(&boom);
+        let good = Arc::clone(&good);
+        Arc::new(move |idx, records| {
+            if boom.load(Ordering::Relaxed) {
+                panic!("injected apply failure");
+            }
+            good(idx, records);
+        })
+    };
+    let ckpt = Checkpointer::new(
+        Arc::clone(&mini.pool),
+        mini.layout,
+        Arc::clone(&mini.root),
+        Arc::clone(&mini.log),
+        applier,
+    );
+    let tel = CheckpointTelemetry {
+        ring: Arc::new(SpanRing::new(64)),
+        phase: Arc::new(PhaseCell::new(CHECKPOINT_PHASES)),
+        panics: Arc::new(Counter::default()),
+    };
+    ckpt.set_telemetry(tel.clone());
+
+    mini.add(b"k", 9);
+    assert!(ckpt.try_begin());
+    // Must return even though the apply phase panicked: a stuck `busy`
+    // would hang every future backpressure wait.
+    ckpt.wait_idle();
+    assert!(!ckpt.is_busy());
+    // The worker releases `busy` before it books the panic; poll.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while tel.panics.get() == 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(tel.panics.get(), 1, "panic not counted");
+    assert_eq!(tel.phase.name(), "idle");
+    // The root never committed: the interrupted checkpoint is still
+    // in progress on disk, exactly like a crash mid-apply.
+    assert!(mini.root.state().checkpoint_in_progress);
+
+    // The frontend is unaffected.
+    mini.add(b"k", 1);
+    assert_eq!(mini.read(b"k"), 10);
+
+    // Heal the applier: the next trigger redoes the orphaned
+    // checkpoint from the archived log, then runs a fresh one.
+    boom.store(false, Ordering::Relaxed);
+    assert!(ckpt.try_begin());
+    ckpt.wait_idle();
+    assert_eq!(tel.panics.get(), 1, "no new panics after healing");
+    let st = mini.root.state();
+    assert!(!st.checkpoint_in_progress);
+    assert_eq!(mini.shadow_read(st.current_shadow, b"k"), 10);
 }
 
 #[test]

@@ -30,6 +30,10 @@ pub struct PmemStats {
 /// A point-in-time copy of [`PmemStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PmemSnapshot {
+    /// When the snapshot was taken, in process-monotonic nanoseconds
+    /// ([`dstore_telemetry::now_ns`]) — the anchor that turns two
+    /// snapshots into a bandwidth.
+    pub elapsed_ns: u64,
     /// Bytes persisted via explicit flushes.
     pub flush_bytes: u64,
     /// Number of flush calls.
@@ -84,6 +88,7 @@ impl PmemStats {
     /// Takes a consistent-enough snapshot for timeline sampling.
     pub fn snapshot(&self) -> PmemSnapshot {
         PmemSnapshot {
+            elapsed_ns: dstore_telemetry::now_ns(),
             flush_bytes: self.flush_bytes.load(Ordering::Relaxed),
             flush_ops: self.flush_ops.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
@@ -104,6 +109,23 @@ impl PmemSnapshot {
     /// Bytes read between `earlier` and `self`.
     pub fn read_bytes_since(&self, earlier: &PmemSnapshot) -> u64 {
         self.bulk_read_bytes.saturating_sub(earlier.bulk_read_bytes)
+    }
+
+    /// Write bandwidth in bytes/second over the interval since
+    /// `earlier` (0.0 if no time elapsed).
+    pub fn write_rate_since(&self, earlier: &PmemSnapshot) -> f64 {
+        dstore_telemetry::rate_per_sec(
+            self.write_bytes_since(earlier),
+            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        )
+    }
+
+    /// Read bandwidth in bytes/second over the interval since `earlier`.
+    pub fn read_rate_since(&self, earlier: &PmemSnapshot) -> f64 {
+        dstore_telemetry::rate_per_sec(
+            self.read_bytes_since(earlier),
+            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        )
     }
 }
 

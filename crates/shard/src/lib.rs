@@ -25,6 +25,6 @@ pub mod store;
 pub mod superblock;
 
 pub use router::Router;
-pub use scheduler::{Scheduler, SchedulerConfig, SchedulerMode};
+pub use scheduler::{Scheduler, SchedulerConfig, SchedulerCounters, SchedulerMode};
 pub use store::{RecoverySummary, ShardedConfig, ShardedCtx, ShardedStore, DEFAULT_ROUTER_SEED};
 pub use superblock::{ShardMap, RESERVED_PREFIX, SHARD_MAP_NAME};

@@ -16,6 +16,7 @@
 //!   stall costs more tail latency than one correlated checkpoint.
 
 use dstore::DStore;
+use dstore_telemetry::Counter;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,10 +73,25 @@ impl SchedulerConfig {
     }
 }
 
+/// Trigger accounting for one scheduler thread. All counters are
+/// cumulative since spawn; read them via [`Scheduler::counters`].
+#[derive(Debug, Default)]
+pub struct SchedulerCounters {
+    /// Checkpoints the scheduler actually started (the shard accepted
+    /// the trigger — it was not already checkpointing).
+    pub triggers: Counter,
+    /// Staggered triggers that bypassed the stagger gap because the
+    /// shard's log was about to hit the log-full cliff. A rising value
+    /// means `stagger_gap` is too wide (or shards fill faster than one
+    /// serialized checkpoint can drain).
+    pub panic_triggers: Counter,
+}
+
 /// Running scheduler thread; stops and joins on [`Scheduler::stop`].
 pub struct Scheduler {
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
+    counters: Arc<SchedulerCounters>,
 }
 
 impl Scheduler {
@@ -83,22 +99,32 @@ impl Scheduler {
     /// [`SchedulerMode::PerShardAuto`]). `threshold` is the per-shard
     /// `swap_threshold` the trigger compares occupancy against.
     pub fn spawn(stores: Arc<Vec<DStore>>, cfg: SchedulerConfig, threshold: f64) -> Scheduler {
+        let counters = Arc::new(SchedulerCounters::default());
         if cfg.mode == SchedulerMode::PerShardAuto {
             return Scheduler {
                 stop: Arc::new(AtomicBool::new(true)),
                 thread: None,
+                counters,
             };
         }
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let counters2 = Arc::clone(&counters);
         let thread = std::thread::Builder::new()
             .name("dstore-shard-ckpt".into())
-            .spawn(move || run(&stores, cfg, threshold, &stop2))
+            .spawn(move || run(&stores, cfg, threshold, &stop2, &counters2))
             .expect("spawn checkpoint scheduler");
         Scheduler {
             stop,
             thread: Some(thread),
+            counters,
         }
+    }
+
+    /// Cumulative trigger counters (zeroes in
+    /// [`SchedulerMode::PerShardAuto`], which never triggers).
+    pub fn counters(&self) -> Arc<SchedulerCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Stops the thread and waits for it to exit. Idempotent; also runs
@@ -117,14 +143,22 @@ impl Drop for Scheduler {
     }
 }
 
-fn run(stores: &[DStore], cfg: SchedulerConfig, threshold: f64, stop: &AtomicBool) {
+fn run(
+    stores: &[DStore],
+    cfg: SchedulerConfig,
+    threshold: f64,
+    stop: &AtomicBool,
+    counters: &SchedulerCounters,
+) {
     let mut last_trigger = Instant::now() - cfg.stagger_gap;
     while !stop.load(Ordering::Acquire) {
         match cfg.mode {
             SchedulerMode::Aligned => {
                 if stores.iter().any(|s| s.log_used_fraction() >= threshold) {
                     for s in stores {
-                        s.checkpoint_async();
+                        if s.checkpoint_async() {
+                            counters.triggers.inc();
+                        }
                     }
                 }
             }
@@ -143,6 +177,10 @@ fn run(stores: &[DStore], cfg: SchedulerConfig, threshold: f64, stop: &AtomicBoo
                         && (gap_ok || used >= cfg.panic_threshold)
                         && stores[i].checkpoint_async()
                     {
+                        counters.triggers.inc();
+                        if !gap_ok {
+                            counters.panic_triggers.inc();
+                        }
                         last_trigger = Instant::now();
                     }
                 }

@@ -14,6 +14,7 @@ use dstore::{
     CrashImage, DStore, DStoreConfig, DsContext, DsError, DsLock, DsResult, Footprint,
     ObjectHandle, ObjectStat, OpenMode, RecoveryReport, StatsSnapshot,
 };
+use dstore_telemetry::TelemetrySnapshot;
 use rayon::prelude::*;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -259,6 +260,43 @@ impl ShardedStore {
     /// Checkpoints completed, summed across shards (either engine).
     pub fn checkpoints_completed(&self) -> u64 {
         self.stores.iter().map(|s| s.checkpoints_completed()).sum()
+    }
+
+    /// One merged telemetry snapshot for the whole fleet: every shard's
+    /// series tagged `shard="<i>"`, plus the scheduler's trigger
+    /// counters. Empty (but still stamped) if every shard was created
+    /// with `telemetry = false`.
+    ///
+    /// Fleet-wide aggregates fall out of the snapshot helpers — e.g.
+    /// `merged_histogram("dstore_op_latency_ns")` for a global latency
+    /// distribution, or per-`shard` label filtering for skew.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut merged = TelemetrySnapshot::new();
+        for (i, s) in self.stores.iter().enumerate() {
+            if let Some(snap) = s.telemetry_snapshot() {
+                merged.absorb(snap.with_label("shard", &i.to_string()));
+            }
+        }
+        if let Some(sched) = &self.scheduler {
+            let c = sched.counters();
+            merged.push_counter(
+                "dstore_scheduler_triggers_total",
+                Vec::new(),
+                c.triggers.get(),
+            );
+            merged.push_counter(
+                "dstore_scheduler_panic_triggers_total",
+                Vec::new(),
+                c.panic_triggers.get(),
+            );
+        }
+        merged.sort();
+        merged
+    }
+
+    /// Per-shard health snapshots, index order.
+    pub fn health(&self) -> Vec<dstore::HealthSnapshot> {
+        self.stores.iter().map(|s| s.health()).collect()
     }
 
     /// Live objects across shards (excluding the N shard-map objects).

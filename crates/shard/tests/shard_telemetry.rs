@@ -1,0 +1,102 @@
+//! Fleet-level telemetry: per-shard labels, merged aggregates, and
+//! scheduler trigger accounting.
+
+use dstore::DStoreConfig;
+use dstore_shard::{SchedulerConfig, SchedulerMode, ShardedConfig, ShardedStore};
+
+fn cfg(shards: u32) -> ShardedConfig {
+    ShardedConfig::new(shards, DStoreConfig::small().with_auto_checkpoint(false))
+        .with_scheduler(SchedulerConfig::new(SchedulerMode::PerShardAuto))
+}
+
+#[test]
+fn merged_snapshot_labels_every_shard() {
+    let store = ShardedStore::create(cfg(4)).unwrap();
+    let ctx = store.context();
+    for i in 0..200u32 {
+        ctx.put(format!("obj{i:04}").as_bytes(), &[7u8; 64])
+            .unwrap();
+    }
+    store.checkpoint_now();
+    store.wait_checkpoint_idle();
+
+    let snap = store.telemetry_snapshot();
+    // Every shard contributes series tagged with its index.
+    for i in 0..4 {
+        let tag = ("shard".to_string(), i.to_string());
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|s| s.name == "dstore_op_latency_ns" && s.labels.contains(&tag)),
+            "no op-latency series for shard {i}"
+        );
+        assert!(
+            snap.spans
+                .iter()
+                .any(|s| s.name == "dstore_checkpoint_spans" && s.labels.contains(&tag)),
+            "no checkpoint spans for shard {i}"
+        );
+    }
+    // Fleet aggregates: the merged histogram counts every put once
+    // (shard-map persistence adds a few internal puts per shard).
+    let put_counter = snap.counter_total("dstore_ops_total");
+    let merged = snap.merged_histogram("dstore_op_latency_ns");
+    assert!(merged.count >= 200, "merged count {}", merged.count);
+    assert_eq!(merged.count, put_counter);
+    // Every shard checkpointed: four phase quadruples on the timeline.
+    let spans = snap.all_spans("dstore_checkpoint_spans");
+    for phase in ["trigger", "apply", "flush", "swap"] {
+        assert_eq!(
+            spans.iter().filter(|s| s.name == phase).count(),
+            4,
+            "expected one {phase} per shard"
+        );
+    }
+    // No scheduler thread in PerShardAuto: triggers stay zero.
+    assert_eq!(snap.counter_total("dstore_scheduler_triggers_total"), 0);
+}
+
+#[test]
+fn staggered_scheduler_counts_its_triggers() {
+    let base = DStoreConfig::small();
+    let sched = SchedulerConfig {
+        mode: SchedulerMode::Staggered,
+        poll_interval: std::time::Duration::from_micros(100),
+        stagger_gap: std::time::Duration::from_micros(200),
+        panic_threshold: 0.92,
+        early_fraction: 0.5,
+    };
+    let store = ShardedStore::create(ShardedConfig::new(2, base).with_scheduler(sched)).unwrap();
+    let ctx = store.context();
+    // Push enough log traffic that the scheduler fires at least once.
+    let value = vec![3u8; 256];
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let mut i = 0u64;
+    while store
+        .telemetry_snapshot()
+        .counter_total("dstore_scheduler_triggers_total")
+        == 0
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "scheduler never triggered a checkpoint"
+        );
+        ctx.put(format!("k{}", i % 512).as_bytes(), &value).unwrap();
+        i += 1;
+    }
+    store.wait_checkpoint_idle();
+    let snap = store.telemetry_snapshot();
+    assert!(snap.counter_total("dstore_scheduler_triggers_total") >= 1);
+    assert!(store.checkpoints_completed() >= 1);
+}
+
+#[test]
+fn per_shard_health() {
+    let store = ShardedStore::create(cfg(3)).unwrap();
+    let health = store.health();
+    assert_eq!(health.len(), 3);
+    for h in health {
+        assert_eq!(h.checkpoint_panics, 0);
+        assert_eq!(h.checkpoint_phase, "idle");
+    }
+}

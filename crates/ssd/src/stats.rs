@@ -18,6 +18,9 @@ pub struct SsdStats {
 /// A point-in-time copy of [`SsdStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SsdSnapshot {
+    /// When the snapshot was taken, in process-monotonic nanoseconds
+    /// ([`dstore_telemetry::now_ns`]).
+    pub elapsed_ns: u64,
     /// Bytes written to the device.
     pub write_bytes: u64,
     /// Write commands issued.
@@ -49,6 +52,7 @@ impl SsdStats {
     /// Takes a snapshot for timeline sampling.
     pub fn snapshot(&self) -> SsdSnapshot {
         SsdSnapshot {
+            elapsed_ns: dstore_telemetry::now_ns(),
             write_bytes: self.write_bytes.load(Ordering::Relaxed),
             write_ops: self.write_ops.load(Ordering::Relaxed),
             read_bytes: self.read_bytes.load(Ordering::Relaxed),
@@ -66,6 +70,23 @@ impl SsdSnapshot {
     /// Bytes read between `earlier` and `self`.
     pub fn read_bytes_since(&self, earlier: &SsdSnapshot) -> u64 {
         self.read_bytes.saturating_sub(earlier.read_bytes)
+    }
+
+    /// Write bandwidth in bytes/second over the interval since
+    /// `earlier` (0.0 if no time elapsed).
+    pub fn write_rate_since(&self, earlier: &SsdSnapshot) -> f64 {
+        dstore_telemetry::rate_per_sec(
+            self.write_bytes_since(earlier),
+            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        )
+    }
+
+    /// Read bandwidth in bytes/second over the interval since `earlier`.
+    pub fn read_rate_since(&self, earlier: &SsdSnapshot) -> f64 {
+        dstore_telemetry::rate_per_sec(
+            self.read_bytes_since(earlier),
+            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        )
     }
 }
 

@@ -1,0 +1,45 @@
+//! A process-wide monotonic nanosecond clock.
+//!
+//! Spans recorded from different threads (frontend trigger, checkpoint
+//! worker, recovery) must be comparable on one timeline; anchoring every
+//! reading to a single process-wide [`Instant`] gives exactly that
+//! without carrying an epoch through every constructor.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide telemetry epoch (first call).
+/// Monotonic and comparable across threads.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// `units` spread over `dt_ns` as units/second — the one formula every
+/// snapshot `rate_since` shares. 0.0 on an empty interval (differencing
+/// two snapshots taken in the same nanosecond is a caller bug, not a
+/// division by zero).
+#[inline]
+pub fn rate_per_sec(units: u64, dt_ns: u64) -> f64 {
+    if dt_ns == 0 {
+        return 0.0;
+    }
+    units as f64 * 1e9 / dt_ns as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_across_calls_and_threads() {
+        let a = now_ns();
+        let h = std::thread::spawn(now_ns);
+        let b = h.join().unwrap();
+        let c = now_ns();
+        assert!(a <= b || a <= c, "clock went backwards: {a} {b} {c}");
+        assert!(c >= a);
+    }
+}

@@ -1,0 +1,275 @@
+//! Render paths: Prometheus text exposition and a JSON document.
+//!
+//! Both render from [`TelemetrySnapshot`] only — layers never format
+//! metrics themselves, so every consumer (scraper, `dstore_top`,
+//! `inspect`) sees the same numbers through the same serialization.
+
+use crate::snapshot::{Labels, TelemetrySnapshot};
+
+/// Sanitizes a metric/label name to `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `{k="v",...}` block (empty string for no labels), with an
+/// optional extra pair appended (used for histogram `le`).
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<(String, String)> = labels.clone();
+    pairs.sort();
+    if let Some((k, v)) = extra {
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Renders the snapshot in Prometheus text exposition format (v0.0.4).
+/// Span rings are not representable as Prometheus series and are
+/// JSON-only; everything else round-trips.
+pub fn to_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut snap = snapshot.clone();
+    snap.sort();
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for s in &snap.counters {
+        let name = sanitize_name(&s.name);
+        type_line(&mut out, &name, "counter");
+        out.push_str(&format!(
+            "{name}{} {}\n",
+            label_block(&s.labels, None),
+            s.value
+        ));
+    }
+    for s in &snap.gauges {
+        let name = sanitize_name(&s.name);
+        type_line(&mut out, &name, "gauge");
+        out.push_str(&format!(
+            "{name}{} {}\n",
+            label_block(&s.labels, None),
+            s.value
+        ));
+    }
+    for s in &snap.histograms {
+        let name = sanitize_name(&s.name);
+        type_line(&mut out, &name, "histogram");
+        // Buckets are stored per-slot; Prometheus wants cumulative.
+        let mut cum = 0u64;
+        for &(le, n) in &s.hist.buckets {
+            cum += n;
+            out.push_str(&format!(
+                "{name}_bucket{} {cum}\n",
+                label_block(&s.labels, Some(("le", &le.to_string())))
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{} {}\n",
+            label_block(&s.labels, Some(("le", "+Inf"))),
+            s.hist.count
+        ));
+        out.push_str(&format!(
+            "{name}_sum{} {}\n",
+            label_block(&s.labels, None),
+            s.hist.sum
+        ));
+        out.push_str(&format!(
+            "{name}_count{} {}\n",
+            label_block(&s.labels, None),
+            s.hist.count
+        ));
+    }
+    out
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn labels_json(labels: &Labels) -> String {
+    let mut pairs: Vec<(String, String)> = labels.clone();
+    pairs.sort();
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Renders the snapshot as a JSON document — the single machine-readable
+/// serialization path for inspectors and dashboards. Includes the span
+/// rings Prometheus cannot express.
+pub fn to_json(snapshot: &TelemetrySnapshot) -> String {
+    let mut snap = snapshot.clone();
+    snap.sort();
+    let mut out = String::from("{");
+    out.push_str(&format!("\"taken_ns\":{},", snap.taken_ns));
+
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                escape_json(&s.name),
+                labels_json(&s.labels),
+                s.value
+            )
+        })
+        .collect();
+    out.push_str(&format!("\"counters\":[{}],", counters.join(",")));
+
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|s| {
+            let v = if s.value.is_finite() {
+                format!("{}", s.value)
+            } else {
+                "null".into()
+            };
+            format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"value\":{v}}}",
+                escape_json(&s.name),
+                labels_json(&s.labels)
+            )
+        })
+        .collect();
+    out.push_str(&format!("\"gauges\":[{}],", gauges.join(",")));
+
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|s| {
+            let (p50, p99, p999, p9999) = s.hist.paper_percentiles();
+            let buckets: Vec<String> = s
+                .hist
+                .buckets
+                .iter()
+                .map(|(le, n)| format!("[{le},{n}]"))
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"max\":{},\
+                 \"mean\":{},\"p50\":{p50},\"p99\":{p99},\"p999\":{p999},\"p9999\":{p9999},\
+                 \"buckets\":[{}]}}",
+                escape_json(&s.name),
+                labels_json(&s.labels),
+                s.hist.count,
+                s.hist.sum,
+                s.hist.max,
+                s.hist.mean(),
+                buckets.join(",")
+            )
+        })
+        .collect();
+    out.push_str(&format!("\"histograms\":[{}],", hists.join(",")));
+
+    let spans: Vec<String> = snap
+        .spans
+        .iter()
+        .map(|s| {
+            let rows: Vec<String> = s
+                .spans
+                .iter()
+                .map(|sp| {
+                    format!(
+                        "{{\"phase\":\"{}\",\"start_ns\":{},\"end_ns\":{},\
+                         \"a\":{},\"b\":{},\"seq\":{}}}",
+                        escape_json(sp.name),
+                        sp.start_ns,
+                        sp.end_ns,
+                        sp.a,
+                        sp.b,
+                        sp.seq
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"spans\":[{}]}}",
+                escape_json(&s.name),
+                labels_json(&s.labels),
+                rows.join(",")
+            )
+        })
+        .collect();
+    out.push_str(&format!("\"spans\":[{}]}}", spans.join(",")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize_name("dstore_ops_total"), "dstore_ops_total");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("a-b.c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let mut s = TelemetrySnapshot::new();
+        s.push_counter("c", vec![("k".into(), "v\"w".into())], 1);
+        let j = to_json(&s);
+        assert!(j.contains(r#""k":"v\"w""#));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! Log-bucketed latency histogram (HDR-style).
+//!
+//! Buckets are arranged in powers of two with linear sub-buckets, giving
+//! ≤ ~1.6 % relative error across nanoseconds → minutes while staying a
+//! fixed-size, lock-free structure that per-thread recorders can merge.
+//!
+//! Promoted here from `dstore-workload` so the store itself (and not
+//! only the bench harnesses) can keep per-op latency histograms;
+//! `dstore_workload::histogram` re-exports everything for compatibility.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two bucket (64 ⇒ ≤1/64 relative error).
+const SUB: usize = 64;
+const SUB_SHIFT: u32 = 6;
+/// Powers of two covered (2^40 ns ≈ 18 minutes).
+const BUCKETS: usize = 40;
+
+/// A concurrent latency histogram over nanosecond values.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    max: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..BUCKETS * SUB).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn index(ns: u64) -> usize {
+        // Bucket 0 covers [0, SUB) linearly; bucket k ≥ 1 covers
+        // [SUB·2^(k-1), SUB·2^k) with stride 2^(k-1).
+        if ns < SUB as u64 {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros();
+        let bucket = (msb - SUB_SHIFT + 1) as usize;
+        if bucket >= BUCKETS {
+            return BUCKETS * SUB - 1;
+        }
+        let sub = ((ns >> (msb - SUB_SHIFT)) - SUB as u64) as usize;
+        bucket * SUB + sub
+    }
+
+    /// Midpoint value represented by slot `i`.
+    fn value_of(i: usize) -> u64 {
+        let bucket = i / SUB;
+        let sub = (i % SUB) as u64;
+        if bucket == 0 {
+            sub
+        } else {
+            let stride = 1u64 << (bucket - 1);
+            (SUB as u64 + sub) * stride + stride / 2
+        }
+        // (midpoint of the slot's [start, start+stride) range)
+    }
+
+    /// Inclusive upper bound of slot `i` — the Prometheus `le` value.
+    fn upper_of(i: usize) -> u64 {
+        let bucket = i / SUB;
+        let sub = (i % SUB) as u64;
+        if bucket == 0 {
+            sub
+        } else {
+            let stride = 1u64 << (bucket - 1);
+            (SUB as u64 + sub) * stride + stride - 1
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.counts[Self::index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in ns.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Maximum recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Value at percentile `p` (0–100), e.g. `99.99` for p9999.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::value_of(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The paper's standard percentile set: (p50, p99, p999, p9999).
+    pub fn paper_percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.percentile(99.9),
+            self.percentile(99.99),
+        )
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter().zip(other.counts.iter()) {
+            let v = b.load(Ordering::Relaxed);
+            if v > 0 {
+                a.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Clears all counters.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A plain-data point-in-time copy: occupied slots only, keyed by
+    /// their inclusive upper bound. Mergeable across shards and
+    /// diffable across time ([`HistogramSnapshot::since`]).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let v = c.load(Ordering::Relaxed);
+            if v > 0 {
+                buckets.push((Self::upper_of(i), v));
+            }
+        }
+        HistogramSnapshot {
+            count: self.total.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`]: sparse per-slot
+/// counts keyed by the slot's inclusive upper bound (ns). Counts are
+/// *per-slot* (not cumulative); the Prometheus exporter cumulates on
+/// render.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (ns).
+    pub sum: u64,
+    /// Maximum recorded sample (exact).
+    pub max: u64,
+    /// `(upper_bound_ns, samples_in_slot)`, ascending by bound, zero
+    /// slots omitted.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in ns.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p` (0–100), using slot upper bounds
+    /// (≤ ~1.6 % above the true value, clamped at the exact max).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(le, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return le.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The paper's standard percentile set: (p50, p99, p999, p9999).
+    pub fn paper_percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.percentile(99.9),
+            self.percentile(99.99),
+        )
+    }
+
+    /// Accumulates another snapshot (shard aggregation). Slots are
+    /// merge-joined by upper bound.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut out = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let a = self.buckets.get(i);
+            let b = other.buckets.get(j);
+            match (a, b) {
+                (Some(&(la, na)), Some(&(lb, nb))) => {
+                    if la == lb {
+                        out.push((la, na + nb));
+                        i += 1;
+                        j += 1;
+                    } else if la < lb {
+                        out.push((la, na));
+                        i += 1;
+                    } else {
+                        out.push((lb, nb));
+                        j += 1;
+                    }
+                }
+                (Some(&x), None) => {
+                    out.push(x);
+                    i += 1;
+                }
+                (None, Some(&x)) => {
+                    out.push(x);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = out;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded between `earlier` and `self` (both taken
+    /// from the *same* live histogram; counts are monotonic, so the
+    /// difference is itself a valid snapshot). `max` is the later
+    /// snapshot's max — the all-time max, not the interval max, which
+    /// the slot data cannot recover.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut j = 0;
+        for &(le, n) in &self.buckets {
+            let mut prev = 0;
+            while j < earlier.buckets.len() && earlier.buckets[j].0 <= le {
+                if earlier.buckets[j].0 == le {
+                    prev = earlier.buckets[j].1;
+                }
+                j += 1;
+            }
+            let d = n.saturating_sub(prev);
+            if d > 0 {
+                buckets.push((le, d));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn single_value() {
+        let h = LatencyHistogram::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.percentile(50.0);
+        assert!((937..=1063).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100); // 100ns .. 1ms
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        let p999 = h.percentile(99.9);
+        assert!(
+            (0.97..1.04).contains(&(p50 as f64 / 500_000.0)),
+            "p50={p50}"
+        );
+        assert!(
+            (0.96..1.04).contains(&(p99 as f64 / 990_000.0)),
+            "p99={p99}"
+        );
+        assert!(p999 > p99);
+        assert!(h.percentile(100.0) >= p999);
+        let mean = h.mean();
+        assert!((495_000.0..505_500.0).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn tail_spike_shows_in_p9999_not_p50() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99_980 {
+            h.record(10_000);
+        }
+        for _ in 0..20 {
+            h.record(10_000_000); // 10 ms spikes (0.02 % of samples)
+        }
+        let (p50, p99, _p999, p9999) = h.paper_percentiles();
+        assert!(p50 < 11_000);
+        assert!(p99 < 11_000);
+        assert!(p9999 >= 9_000_000, "p9999={p9999}");
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = LatencyHistogram::new();
+        for &v in &[1u64, 63, 64, 100, 1000, 123_456, 9_999_999, 1 << 33] {
+            h.reset();
+            h.record(v);
+            let got = h.percentile(100.0);
+            let err = (got as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.04, "value {v}: got {got}, err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..100 {
+            a.record(1000);
+            b.record(100_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        let p25 = a.percentile(25.0);
+        let p75 = a.percentile(75.0);
+        assert!(p25 < 2000);
+        assert!(p75 > 90_000);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for x in handles {
+            x.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_tracks_live_percentiles() {
+        let h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max, 1_000_000);
+        for p in [50.0, 99.0, 99.9, 99.99] {
+            let live = h.percentile(p) as f64;
+            let snap = s.percentile(p) as f64;
+            // le-based values sit within one slot (≤ ~3.2 %) of the
+            // midpoint-based live values.
+            assert!(
+                (snap - live).abs() / live < 0.04,
+                "p{p}: live={live} snap={snap}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_since_isolates_an_interval() {
+        let h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(1_000);
+        }
+        let a = h.snapshot();
+        for _ in 0..1000 {
+            h.record(1_000_000);
+        }
+        let d = h.snapshot().since(&a);
+        assert_eq!(d.count, 1000);
+        // Only the slow interval's samples remain: p50 of the delta is
+        // near 1 ms, not 1 µs.
+        assert!(d.percentile(50.0) > 900_000, "p50={}", d.percentile(50.0));
+        // since() against an empty snapshot is the identity.
+        assert_eq!(
+            h.snapshot().since(&HistogramSnapshot::default()),
+            h.snapshot()
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_matches_live_merge() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            a.record(i * 37 % 50_000);
+            b.record(i * 91 % 900_000);
+        }
+        let mut sm = a.snapshot();
+        sm.merge(&b.snapshot());
+        a.merge(&b); // live merge
+        let live = a.snapshot();
+        assert_eq!(sm, live);
+    }
+}

@@ -1,0 +1,42 @@
+//! Telemetry for DStore: an always-on measurement substrate.
+//!
+//! DStore's headline claims — *taillessness* and *quiescent-freedom* —
+//! are temporal properties: they are statements about what happens while
+//! a checkpoint runs, not about end-state counters. This crate provides
+//! the instruments to observe them in production rather than only on the
+//! bench:
+//!
+//! * [`LatencyHistogram`] — the HDR-style log-bucketed histogram
+//!   (promoted here from `dstore-workload`, which re-exports it), plus
+//!   [`HistogramSnapshot`] for mergeable/diffable point-in-time views;
+//! * [`SpanRing`] — a fixed-capacity, lock-free ring of phase spans
+//!   (checkpoint trigger→apply→flush→swap, recovery scan→redo→copy→
+//!   replay) with monotonic timestamps; old spans are dropped, never
+//!   torn;
+//! * [`PhaseCell`] — a one-word "what phase is in flight right now"
+//!   indicator;
+//! * [`MetricsRegistry`] — named counters / gauges / histograms / span
+//!   rings with Prometheus-style labels. Recording through a registered
+//!   handle is lock-free (plain relaxed atomics); only registration and
+//!   snapshotting take a lock;
+//! * [`TelemetrySnapshot`] — a plain-data snapshot of any of the above,
+//!   mergeable across shards (with per-shard labels) and renderable as
+//!   Prometheus text exposition ([`export::to_prometheus`]) or a JSON
+//!   document ([`export::to_json`]) — the single serialization path for
+//!   every tool (`dstore_top`, `inspect`, scrapers).
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use clock::{now_ns, rate_per_sec};
+pub use export::{to_json, to_prometheus};
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use snapshot::{Labels, TelemetrySnapshot};
+pub use span::{PhaseCell, Span, SpanRing};

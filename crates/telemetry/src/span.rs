@@ -1,0 +1,252 @@
+//! A fixed-capacity, lock-free ring of phase spans.
+//!
+//! Checkpoint and recovery phases are recorded as [`Span`]s — a static
+//! phase name, monotonic start/end timestamps ([`crate::now_ns`]), and
+//! two free payload words (bytes, record counts). The ring keeps the
+//! most recent `capacity` spans: writers claim slots with a CAS and
+//! publish with a per-slot seqlock, so recording never blocks and a
+//! snapshot never observes a torn span — a reader racing a writer simply
+//! skips that slot. When the ring wraps, the oldest spans are silently
+//! replaced; a writer that laps into a slot whose (descheduled) writer
+//! is still mid-publish drops its span instead of waiting, counted in
+//! [`SpanRing::dropped`].
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+/// One recorded phase span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (e.g. `"checkpoint_apply"`).
+    pub name: &'static str,
+    /// Start, in [`crate::now_ns`] nanoseconds.
+    pub start_ns: u64,
+    /// End, in [`crate::now_ns`] nanoseconds (≥ `start_ns`).
+    pub end_ns: u64,
+    /// First payload word (by convention: bytes processed).
+    pub a: u64,
+    /// Second payload word (by convention: records processed).
+    pub b: u64,
+    /// Global sequence number: the i-th span recorded into this ring.
+    pub seq: u64,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Payload words per slot: name ptr, name len, start, end, a, b, seq.
+const WORDS: usize = 7;
+
+struct Slot {
+    /// Seqlock word: odd while a writer owns the slot, even when stable.
+    version: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            version: AtomicU64::new(0),
+            words: Default::default(),
+        }
+    }
+}
+
+/// The ring. All methods are callable from any thread; `record` is
+/// lock-free (one fetch_add + one CAS attempt).
+pub struct SpanRing {
+    slots: Vec<Slot>,
+    /// Next global sequence number (== spans ever recorded).
+    head: AtomicUsize,
+    /// Spans dropped because their slot's previous writer was still
+    /// publishing (ring lapped a stalled writer).
+    dropped: AtomicU64,
+}
+
+impl SpanRing {
+    /// A ring holding the most recent `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans ever recorded (including since-overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed) as u64
+    }
+
+    /// Spans dropped due to lapping a stalled writer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records a completed span. Returns its global sequence number.
+    pub fn record(&self, name: &'static str, start_ns: u64, end_ns: u64, a: u64, b: u64) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed) as u64;
+        let slot = &self.slots[(seq as usize) % self.slots.len()];
+        // Claim: flip the version odd. Failure means the ring lapped a
+        // writer still inside this slot — drop rather than block.
+        let v = slot.version.load(Ordering::Relaxed);
+        if !v.is_multiple_of(2)
+            || slot
+                .version
+                .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return seq;
+        }
+        let w = &slot.words;
+        w[0].store(name.as_ptr() as u64, Ordering::Relaxed);
+        w[1].store(name.len() as u64, Ordering::Relaxed);
+        w[2].store(start_ns, Ordering::Relaxed);
+        w[3].store(end_ns, Ordering::Relaxed);
+        w[4].store(a, Ordering::Relaxed);
+        w[5].store(b, Ordering::Relaxed);
+        w[6].store(seq, Ordering::Relaxed);
+        slot.version.store(v + 2, Ordering::Release);
+        seq
+    }
+
+    /// The current contents, oldest first. Slots being concurrently
+    /// rewritten are skipped — a snapshot never contains a torn span.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut out: Vec<Span> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 % 2 != 0 {
+                continue; // never written, or mid-publish
+            }
+            let w = &slot.words;
+            let read = [
+                w[0].load(Ordering::Relaxed),
+                w[1].load(Ordering::Relaxed),
+                w[2].load(Ordering::Relaxed),
+                w[3].load(Ordering::Relaxed),
+                w[4].load(Ordering::Relaxed),
+                w[5].load(Ordering::Relaxed),
+                w[6].load(Ordering::Relaxed),
+            ];
+            fence(Ordering::Acquire);
+            if slot.version.load(Ordering::Relaxed) != v1 {
+                continue; // overwritten while reading
+            }
+            // SAFETY: the seqlock validated a complete publish, and
+            // writers only ever store (ptr, len) of a &'static str.
+            let name = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                    read[0] as *const u8,
+                    read[1] as usize,
+                ))
+            };
+            out.push(Span {
+                name,
+                start_ns: read[2],
+                end_ns: read[3],
+                a: read[4],
+                b: read[5],
+                seq: read[6],
+            });
+        }
+        out.sort_by_key(|s| s.seq);
+        out
+    }
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// A one-word "which phase is in flight" indicator: an index into a
+/// static phase-name table. Index 0 is conventionally the idle state.
+pub struct PhaseCell {
+    names: &'static [&'static str],
+    current: AtomicUsize,
+}
+
+impl PhaseCell {
+    /// A cell over the given phase table (must be non-empty).
+    pub fn new(names: &'static [&'static str]) -> Self {
+        assert!(!names.is_empty());
+        PhaseCell {
+            names,
+            current: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enters phase `idx` (clamped to the table).
+    pub fn set(&self, idx: usize) {
+        self.current
+            .store(idx.min(self.names.len() - 1), Ordering::Release);
+    }
+
+    /// The current phase index.
+    pub fn index(&self) -> usize {
+        self.current.load(Ordering::Acquire)
+    }
+
+    /// The current phase name.
+    pub fn name(&self) -> &'static str {
+        self.names[self.index()]
+    }
+
+    /// The phase table.
+    pub fn names(&self) -> &'static [&'static str] {
+        self.names
+    }
+}
+
+impl std::fmt::Debug for PhaseCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PhaseCell({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let ring = SpanRing::new(8);
+        for i in 0..5u64 {
+            ring.record("phase", i * 10, i * 10 + 5, i, 0);
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 5);
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+            assert_eq!(s.name, "phase");
+            assert_eq!(s.duration_ns(), 5);
+        }
+    }
+
+    #[test]
+    fn phase_cell_tracks_current_phase() {
+        static PHASES: [&str; 3] = ["idle", "apply", "flush"];
+        let c = PhaseCell::new(&PHASES);
+        assert_eq!(c.name(), "idle");
+        c.set(2);
+        assert_eq!(c.name(), "flush");
+        c.set(99); // clamped
+        assert_eq!(c.name(), "flush");
+    }
+}

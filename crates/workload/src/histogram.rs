@@ -1,259 +1,9 @@
-//! Log-bucketed latency histogram (HDR-style).
+//! Latency histogram — re-exported from `dstore-telemetry`.
 //!
-//! Buckets are arranged in powers of two with linear sub-buckets, giving
-//! ≤ ~1.6 % relative error across nanoseconds → minutes while staying a
-//! fixed-size, lock-free structure that per-thread recorders can merge.
+//! The log-bucketed [`LatencyHistogram`] originated here as a bench-side
+//! tool; it now lives in `dstore_telemetry::histogram` so the store
+//! itself can keep always-on per-op histograms. This module re-exports
+//! it (and the snapshot type) so existing workload/bench code keeps
+//! compiling unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Sub-buckets per power-of-two bucket (64 ⇒ ≤1/64 relative error).
-const SUB: usize = 64;
-const SUB_SHIFT: u32 = 6;
-/// Powers of two covered (2^40 ns ≈ 18 minutes).
-const BUCKETS: usize = 40;
-
-/// A concurrent latency histogram over nanosecond values.
-pub struct LatencyHistogram {
-    counts: Vec<AtomicU64>,
-    total: AtomicU64,
-    max: AtomicU64,
-    sum: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        Self {
-            counts: (0..BUCKETS * SUB).map(|_| AtomicU64::new(0)).collect(),
-            total: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-        }
-    }
-
-    #[inline]
-    fn index(ns: u64) -> usize {
-        // Bucket 0 covers [0, SUB) linearly; bucket k ≥ 1 covers
-        // [SUB·2^(k-1), SUB·2^k) with stride 2^(k-1).
-        if ns < SUB as u64 {
-            return ns as usize;
-        }
-        let msb = 63 - ns.leading_zeros();
-        let bucket = (msb - SUB_SHIFT + 1) as usize;
-        if bucket >= BUCKETS {
-            return BUCKETS * SUB - 1;
-        }
-        let sub = ((ns >> (msb - SUB_SHIFT)) - SUB as u64) as usize;
-        bucket * SUB + sub
-    }
-
-    /// Midpoint value represented by slot `i`.
-    fn value_of(i: usize) -> u64 {
-        let bucket = i / SUB;
-        let sub = (i % SUB) as u64;
-        if bucket == 0 {
-            sub
-        } else {
-            let stride = 1u64 << (bucket - 1);
-            (SUB as u64 + sub) * stride + stride / 2
-        }
-        // (midpoint of the slot's [start, start+stride) range)
-    }
-
-    /// Records one latency sample.
-    #[inline]
-    pub fn record(&self, ns: u64) {
-        self.counts[Self::index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(ns, Ordering::Relaxed);
-        self.max.fetch_max(ns, Ordering::Relaxed);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in ns.
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Maximum recorded value (exact).
-    pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
-    }
-
-    /// Value at percentile `p` (0–100), e.g. `99.99` for p9999.
-    pub fn percentile(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= target {
-                return Self::value_of(i).min(self.max());
-            }
-        }
-        self.max()
-    }
-
-    /// The paper's standard percentile set: (p50, p99, p999, p9999).
-    pub fn paper_percentiles(&self) -> (u64, u64, u64, u64) {
-        (
-            self.percentile(50.0),
-            self.percentile(99.0),
-            self.percentile(99.9),
-            self.percentile(99.99),
-        )
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter().zip(other.counts.iter()) {
-            let v = b.load(Ordering::Relaxed);
-            if v > 0 {
-                a.fetch_add(v, Ordering::Relaxed);
-            }
-        }
-        self.total
-            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.sum
-            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.max
-            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
-    }
-
-    /// Clears all counters.
-    pub fn reset(&self) {
-        for c in &self.counts {
-            c.store(0, Ordering::Relaxed);
-        }
-        self.total.store(0, Ordering::Relaxed);
-        self.sum.store(0, Ordering::Relaxed);
-        self.max.store(0, Ordering::Relaxed);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile(50.0), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
-
-    #[test]
-    fn single_value() {
-        let h = LatencyHistogram::new();
-        h.record(1000);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.max(), 1000);
-        let p50 = h.percentile(50.0);
-        assert!((937..=1063).contains(&p50), "p50={p50}");
-    }
-
-    #[test]
-    fn percentiles_of_uniform_ramp() {
-        let h = LatencyHistogram::new();
-        for i in 1..=10_000u64 {
-            h.record(i * 100); // 100ns .. 1ms
-        }
-        let p50 = h.percentile(50.0);
-        let p99 = h.percentile(99.0);
-        let p999 = h.percentile(99.9);
-        assert!(
-            (0.97..1.04).contains(&(p50 as f64 / 500_000.0)),
-            "p50={p50}"
-        );
-        assert!(
-            (0.96..1.04).contains(&(p99 as f64 / 990_000.0)),
-            "p99={p99}"
-        );
-        assert!(p999 > p99);
-        assert!(h.percentile(100.0) >= p999);
-        let mean = h.mean();
-        assert!((495_000.0..505_500.0).contains(&mean), "mean={mean}");
-    }
-
-    #[test]
-    fn tail_spike_shows_in_p9999_not_p50() {
-        let h = LatencyHistogram::new();
-        for _ in 0..99_980 {
-            h.record(10_000);
-        }
-        for _ in 0..20 {
-            h.record(10_000_000); // 10 ms spikes (0.02 % of samples)
-        }
-        let (p50, p99, _p999, p9999) = h.paper_percentiles();
-        assert!(p50 < 11_000);
-        assert!(p99 < 11_000);
-        assert!(p9999 >= 9_000_000, "p9999={p9999}");
-    }
-
-    #[test]
-    fn relative_error_is_bounded() {
-        let h = LatencyHistogram::new();
-        for &v in &[1u64, 63, 64, 100, 1000, 123_456, 9_999_999, 1 << 33] {
-            h.reset();
-            h.record(v);
-            let got = h.percentile(100.0);
-            let err = (got as f64 - v as f64).abs() / v as f64;
-            assert!(err < 0.04, "value {v}: got {got}, err {err}");
-        }
-    }
-
-    #[test]
-    fn merge_combines_counts() {
-        let a = LatencyHistogram::new();
-        let b = LatencyHistogram::new();
-        for _ in 0..100 {
-            a.record(1000);
-            b.record(100_000);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 200);
-        let p25 = a.percentile(25.0);
-        let p75 = a.percentile(75.0);
-        assert!(p25 < 2000);
-        assert!(p75 > 90_000);
-    }
-
-    #[test]
-    fn concurrent_recording() {
-        use std::sync::Arc;
-        let h = Arc::new(LatencyHistogram::new());
-        let handles: Vec<_> = (0..8)
-            .map(|t| {
-                let h = Arc::clone(&h);
-                std::thread::spawn(move || {
-                    for i in 0..10_000u64 {
-                        h.record(t * 1000 + i);
-                    }
-                })
-            })
-            .collect();
-        for x in handles {
-            x.join().unwrap();
-        }
-        assert_eq!(h.count(), 80_000);
-    }
-}
+pub use dstore_telemetry::histogram::{HistogramSnapshot, LatencyHistogram};

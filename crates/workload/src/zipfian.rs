@@ -1,4 +1,4 @@
-//! Scrambled-zipfian key distribution, as used by YCSB [13].
+//! Scrambled-zipfian key distribution, as used by YCSB \[13\].
 //!
 //! The zipfian generator follows Gray et al.'s rejection-free inversion
 //! (the same algorithm YCSB's `ZipfianGenerator` uses); the *scrambled*

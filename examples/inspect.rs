@@ -1,17 +1,22 @@
 //! Store inspector: dumps a live store's internals — the kind of
-//! operational tool a production deployment grows. Exercises the
-//! introspection surface of every layer (root state, log stats,
-//! checkpoint stats, arena usage, object index).
+//! operational tool a production deployment grows. Everything dynamic
+//! is read through the telemetry snapshot API ([`DStore::telemetry_snapshot`]),
+//! the same single serialization path scrapers and `dstore_top` use;
+//! `--json` prints the raw JSON document instead of the human view.
 //!
 //! ```text
 //! cargo run --release --example inspect
+//! cargo run --release --example inspect -- --json | python3 -m json.tool
 //! ```
 
 use dstore::{DStore, DStoreConfig};
+use dstore_telemetry::to_json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
     // Build a store with some history: loads, updates, deletes, and a
     // couple of checkpoints.
     let cfg = DStoreConfig {
@@ -32,11 +37,21 @@ fn main() {
             let _ = ctx.delete(victim.as_bytes());
         }
     }
+    store.checkpoint_now();
     store.wait_checkpoint_idle();
+
+    let snap = store.telemetry_snapshot().expect("telemetry is on");
+    if json {
+        // The machine-readable path: the whole snapshot as one JSON
+        // document (counters, gauges, histograms, and the phase spans
+        // Prometheus text cannot express).
+        println!("{}", to_json(&snap));
+        return;
+    }
 
     println!("=== dstore inspect ===\n");
 
-    // Object index.
+    // Object index (application-level — not a telemetry concern).
     let names = ctx.list();
     println!("objects: {}", names.len());
     let mut per_tenant = std::collections::BTreeMap::new();
@@ -72,68 +87,126 @@ fn main() {
     println!("  SSD   (data blocks)       {:>12} B", f.ssd_bytes);
     println!("  space amplification       {:>12.2}x\n", f.amplification());
 
-    // Checkpoint machinery.
-    if let Some(c) = store.checkpoint_stats() {
-        println!("checkpoints:");
+    // Checkpoint machinery — counters and the phase-span trace.
+    println!("checkpoints:");
+    println!(
+        "  completed                 {:>12}",
+        snap.counter_total("dstore_checkpoints_completed_total")
+    );
+    println!(
+        "  apply panics              {:>12}",
+        snap.counter_total("dstore_checkpoint_panics_total")
+    );
+    println!(
+        "  phase in flight           {:>12}",
+        store.checkpoint_phase()
+    );
+    let spans = snap.all_spans("dstore_checkpoint_spans");
+    if let Some(last_swap) = spans.iter().rev().find(|s| s.name == "swap") {
+        let last: Vec<_> = spans
+            .iter()
+            .filter(|s| s.end_ns <= last_swap.end_ns)
+            .rev()
+            .take(4)
+            .collect();
+        println!("  last checkpoint phases:");
+        for s in last.iter().rev() {
+            println!(
+                "    {:<8} {:>9.2} ms  (bytes={}, records={})",
+                s.name,
+                s.duration_ns() as f64 / 1e6,
+                s.a,
+                s.b
+            );
+        }
+    }
+    println!();
+
+    // Per-op latency, from the same histograms a scraper sees.
+    println!("op latency (ns):");
+    println!("  op        count       p50       p99     p9999");
+    for op in ["put", "get", "delete", "owrite", "oread"] {
+        let h = snap
+            .histograms
+            .iter()
+            .filter(|s| {
+                s.name == "dstore_op_latency_ns" && s.labels.contains(&("op".into(), op.into()))
+            })
+            .fold(
+                dstore_telemetry::HistogramSnapshot::default(),
+                |mut acc, s| {
+                    acc.merge(&s.hist);
+                    acc
+                },
+            );
+        if h.count == 0 {
+            continue;
+        }
+        let (p50, p99, _p999, p9999) = h.paper_percentiles();
         println!(
-            "  completed                 {:>12}",
-            c.completed.into_inner()
-        );
-        println!(
-            "  records applied           {:>12}",
-            c.records_applied.into_inner()
-        );
-        println!(
-            "  shadow bytes copied       {:>12}",
-            c.bytes_copied.into_inner()
-        );
-        println!(
-            "  last apply duration       {:>12.2} ms\n",
-            c.last_apply_ns.into_inner() as f64 / 1e6
+            "  {:<7}{:>8}  {:>9}  {:>9}  {:>9}",
+            op, h.count, p50, p99, p9999
         );
     }
+    println!();
 
-    // Device traffic.
-    let p = store.pmem().stats().snapshot();
-    let s = store.ssd().stats().snapshot();
-    println!("device traffic:");
+    // Device traffic and fill, from counters and gauges.
+    println!("devices:");
     println!(
-        "  PMEM flushes              {:>12} ({} B)",
-        p.flush_ops, p.flush_bytes
-    );
-    println!("  PMEM fences               {:>12}", p.fences);
-    println!("  PMEM bulk writes          {:>12} B", p.bulk_write_bytes);
-    println!(
-        "  SSD writes                {:>12} ({} B)",
-        s.write_ops, s.write_bytes
+        "  PMEM flush bytes          {:>12}",
+        snap.counter_total("dstore_pmem_flush_bytes_total")
     );
     println!(
-        "  SSD reads                 {:>12} ({} B)\n",
-        s.read_ops, s.read_bytes
+        "  PMEM bulk write bytes     {:>12}",
+        snap.counter_total("dstore_pmem_bulk_write_bytes_total")
     );
+    println!(
+        "  SSD write bytes           {:>12}",
+        snap.counter_total("dstore_ssd_write_bytes_total")
+    );
+    println!(
+        "  SSD read bytes            {:>12}",
+        snap.counter_total("dstore_ssd_read_bytes_total")
+    );
+    println!(
+        "  log fill                  {:>11.1}%",
+        snap.gauge("dstore_log_used_fraction").unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "  SSD blocks in use         {:>12}",
+        snap.gauge("dstore_ssd_blocks_used").unwrap_or(0.0)
+    );
+    println!();
 
     // Operation counters.
-    use std::sync::atomic::Ordering;
-    let st = store.stats();
     println!("operations:");
-    println!(
-        "  puts                      {:>12}",
-        st.puts.load(Ordering::Relaxed)
-    );
-    println!(
-        "  deletes                   {:>12}",
-        st.deletes.load(Ordering::Relaxed)
-    );
-    println!(
-        "  ww conflicts retried      {:>12}",
-        st.ww_conflicts.load(Ordering::Relaxed)
-    );
-    println!(
-        "  reader backoffs           {:>12}",
-        st.rw_backoffs.load(Ordering::Relaxed)
-    );
-    println!(
-        "  log-full stalls           {:>12}",
-        st.log_full_stalls.load(Ordering::Relaxed)
-    );
+    for (label, name) in [
+        ("puts", "op"),
+        ("deletes", "op"),
+        ("ww conflicts retried", "dstore_ww_conflicts_total"),
+        ("reader backoffs", "dstore_rw_backoffs_total"),
+        ("log-full stalls", "dstore_log_full_stalls_total"),
+    ] {
+        let v = match label {
+            "puts" => snap
+                .counters
+                .iter()
+                .filter(|s| {
+                    s.name == "dstore_ops_total" && s.labels.contains(&("op".into(), "put".into()))
+                })
+                .map(|s| s.value)
+                .sum(),
+            "deletes" => snap
+                .counters
+                .iter()
+                .filter(|s| {
+                    s.name == "dstore_ops_total"
+                        && s.labels.contains(&("op".into(), "delete".into()))
+                })
+                .map(|s| s.value)
+                .sum(),
+            _ => snap.counter_total(name),
+        };
+        println!("  {label:<25} {v:>12}");
+    }
 }
