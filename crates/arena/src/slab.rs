@@ -62,6 +62,11 @@ pub struct ArenaStats {
     pub high_water: u64,
     /// Total region capacity.
     pub capacity: u64,
+    /// Allocations that contended on a size-class lock (the allocator's
+    /// only blocking point; volatile — resets on attach).
+    pub alloc_stalls: u64,
+    /// Total nanoseconds spent waiting on contended size-class locks.
+    pub alloc_stall_ns: u64,
 }
 
 /// A slab allocator over a [`Memory`] region.
@@ -74,6 +79,11 @@ pub struct ArenaStats {
 pub struct Arena<M: Memory> {
     mem: M,
     class_locks: [Mutex<()>; NUM_CLASSES],
+    /// Allocations that found their size-class lock contended. Volatile
+    /// (like the locks themselves): stall accounting restarts on attach.
+    alloc_stalls: AtomicU64,
+    /// Nanoseconds spent waiting on contended size-class locks.
+    alloc_stall_ns: AtomicU64,
 }
 
 impl<M: Memory> Arena<M> {
@@ -87,6 +97,8 @@ impl<M: Memory> Arena<M> {
         let arena = Self {
             mem,
             class_locks: Default::default(),
+            alloc_stalls: AtomicU64::new(0),
+            alloc_stall_ns: AtomicU64::new(0),
         };
         // SAFETY: region is at least HEADER_SIZE bytes and exclusively ours.
         unsafe {
@@ -110,6 +122,8 @@ impl<M: Memory> Arena<M> {
         let arena = Self {
             mem,
             class_locks: Default::default(),
+            alloc_stalls: AtomicU64::new(0),
+            alloc_stall_ns: AtomicU64::new(0),
         };
         // SAFETY: header is within bounds.
         let h = unsafe { arena.header_ref() };
@@ -161,7 +175,20 @@ impl<M: Memory> Arena<M> {
         let h = unsafe { self.header_ref() };
 
         let off = {
-            let _g = self.class_locks[class].lock();
+            // Contention on a class lock is an allocation stall another
+            // thread's alloc/free induced; count it (uncontended
+            // allocations never read the clock).
+            let _g = match self.class_locks[class].try_lock() {
+                Some(g) => g,
+                None => {
+                    let t0 = std::time::Instant::now();
+                    let g = self.class_locks[class].lock();
+                    self.alloc_stalls.fetch_add(1, Ordering::Relaxed);
+                    self.alloc_stall_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    g
+                }
+            };
             let head = h.free_heads[class].load(Ordering::Relaxed);
             if head != 0 {
                 // Pop: block's first word is the next-free offset.
@@ -323,6 +350,8 @@ impl<M: Memory> Arena<M> {
             live_blocks: h.live_blocks.load(Ordering::Relaxed),
             high_water: h.bump.load(Ordering::Relaxed),
             capacity: self.mem.len() as u64,
+            alloc_stalls: self.alloc_stalls.load(Ordering::Relaxed),
+            alloc_stall_ns: self.alloc_stall_ns.load(Ordering::Relaxed),
         }
     }
 

@@ -147,26 +147,39 @@ fn bench_store_ops(c: &mut Criterion) {
 }
 
 fn bench_telemetry_overhead(c: &mut Criterion) {
-    // The <5 % always-on telemetry budget: identical software-path ops
-    // with the per-op histograms on (default) vs off. Compare
-    // `telemetry_on`/`telemetry_off` medians to check the budget.
-    for on in [true, false] {
+    // The always-on observability budget: identical software-path ops
+    // with (a) everything off, (b) per-op histograms on but the flight
+    // recorder off, (c) histograms plus the flight recorder at its
+    // production setting (sample 1 in 1024, 1 ms SLO retention).
+    // Compare the three groups' medians: `telemetry_on` vs `_off` is
+    // the <5 % metrics budget; `tracing_on` vs `telemetry_on` is the
+    // ≤2 % tracing budget.
+    enum Mode {
+        Off,
+        Telemetry,
+        Tracing,
+    }
+    for mode in [Mode::Off, Mode::Telemetry, Mode::Tracing] {
         let cfg = DStoreConfig {
             log_size: 64 << 20,
             ssd_pages: 32 * 1024,
             ..Default::default()
         }
-        .with_telemetry(on);
+        .with_telemetry(!matches!(mode, Mode::Off))
+        .with_trace(dstore_telemetry::TraceConfig {
+            enabled: matches!(mode, Mode::Tracing),
+            ..dstore_telemetry::TraceConfig::default()
+        });
         let store = DStore::create(cfg).unwrap();
         let ctx = store.context();
         let value = vec![0u8; 4096];
         for i in 0..1024 {
             ctx.put(format!("k{i}").as_bytes(), &value).unwrap();
         }
-        let mut g = c.benchmark_group(if on {
-            "dstore_telemetry_on"
-        } else {
-            "dstore_telemetry_off"
+        let mut g = c.benchmark_group(match mode {
+            Mode::Off => "dstore_telemetry_off",
+            Mode::Telemetry => "dstore_telemetry_on",
+            Mode::Tracing => "dstore_tracing_on",
         });
         g.throughput(Throughput::Elements(1));
         let mut i = 0u64;

@@ -2,6 +2,7 @@
 
 use dstore_pmem::LatencyModel;
 use dstore_ssd::SsdLatency;
+use dstore_telemetry::TraceConfig;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -75,6 +76,14 @@ pub struct DStoreConfig {
     /// overhead on the software path is within the <5 % budget. Turn it
     /// off to remove even the per-op `Instant::now` calls.
     pub telemetry: bool,
+    /// Per-op flight recorder (requires `telemetry`): every
+    /// `trace.sample_every`-th op carries a full segment breakdown, any
+    /// op slower than `trace.slo_ns` is retained regardless of
+    /// sampling, and the most recent `trace.ring_capacity` retained
+    /// traces are exposed through
+    /// [`crate::DStore::telemetry_snapshot`], `tail_attribution`, and
+    /// the Perfetto exporter.
+    pub trace: TraceConfig,
     /// Deadlock-detector budget for the store's three internal spin
     /// waits (reader drain, writer drain, log-record commit). A wait
     /// exceeding this panics with a diagnostic instead of hanging the
@@ -102,6 +111,7 @@ impl Default for DStoreConfig {
             pmem_file: None,
             ssd_file: None,
             telemetry: true,
+            trace: TraceConfig::default(),
             stall_timeout: Duration::from_secs(30),
         }
     }
@@ -156,6 +166,11 @@ impl DStoreConfig {
         self.telemetry = on;
         self
     }
+    /// Sets the per-op flight-recorder configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
     /// Sets the deadlock-detector budget for internal spin waits.
     pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
         self.stall_timeout = timeout;
@@ -191,6 +206,16 @@ impl DStoreConfig {
             return Err(format!(
                 "swap_threshold = {} must be within [0.05, 0.95]",
                 self.swap_threshold
+            ));
+        }
+        if self.trace.enabled && self.trace.ring_capacity == 0 {
+            return Err("trace.ring_capacity must be at least 1 when tracing is enabled".into());
+        }
+        if self.trace.enabled && self.trace.ring_capacity > 1 << 20 {
+            return Err(format!(
+                "trace.ring_capacity = {} would pin >150 MB of flight-recorder slots; \
+                 keep it within 2^20",
+                self.trace.ring_capacity
             ));
         }
         if self.stall_timeout < Duration::from_millis(10) {
@@ -260,6 +285,15 @@ mod tests {
         let mut c = DStoreConfig::small();
         c.stall_timeout = Duration::from_millis(1);
         assert!(c.validate().unwrap_err().contains("stall_timeout"));
+
+        let mut c = DStoreConfig::small();
+        c.trace.ring_capacity = 0;
+        assert!(c.validate().unwrap_err().contains("trace.ring_capacity"));
+        c.trace.ring_capacity = (1 << 20) + 1;
+        assert!(c.validate().unwrap_err().contains("trace.ring_capacity"));
+        // A disabled recorder is never validated against.
+        c.trace.enabled = false;
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -268,11 +302,19 @@ mod tests {
             .with_checkpoint(CheckpointMode::Cow)
             .with_logging(LoggingMode::Physical)
             .with_oe(false)
-            .with_auto_checkpoint(false);
+            .with_auto_checkpoint(false)
+            .with_trace(TraceConfig {
+                sample_every: 16,
+                slo_ns: 250_000,
+                ..TraceConfig::default()
+            });
         assert_eq!(c.checkpoint, CheckpointMode::Cow);
         assert_eq!(c.logging, LoggingMode::Physical);
         assert!(!c.oe);
         assert!(!c.auto_checkpoint);
         assert!(c.strict_pmem);
+        assert!(c.trace.enabled);
+        assert_eq!(c.trace.sample_every, 16);
+        assert_eq!(c.trace.slo_ns, 250_000);
     }
 }

@@ -73,6 +73,9 @@ struct CowInner {
     telemetry: Mutex<Option<CheckpointTelemetry>>,
     /// `now_ns` at which the current apply (page-copy) phase began.
     apply_start: AtomicU64,
+    /// Test-only injection: extra nanoseconds spun inside the flush
+    /// phase of every checkpoint (0 = none).
+    flush_stall_ns: AtomicU64,
 }
 
 impl CowCheckpointer {
@@ -103,6 +106,7 @@ impl CowCheckpointer {
                 completed: AtomicU64::new(0),
                 telemetry: Mutex::new(None),
                 apply_start: AtomicU64::new(0),
+                flush_stall_ns: AtomicU64::new(0),
             }),
         }
     }
@@ -111,6 +115,13 @@ impl CowCheckpointer {
     /// spans into them. Intended to be called once at store assembly.
     pub fn set_telemetry(&self, t: CheckpointTelemetry) {
         *self.inner.telemetry.lock() = Some(t);
+    }
+
+    /// Test-only injection: spin for `ns` nanoseconds inside the flush
+    /// phase of every subsequent checkpoint (0 disables).
+    #[doc(hidden)]
+    pub fn inject_flush_stall_ns(&self, ns: u64) {
+        self.inner.flush_stall_ns.store(ns, Ordering::Relaxed);
     }
 
     /// A second handle to the same CoW state (for trigger helper threads).
@@ -263,6 +274,10 @@ impl CowInner {
             t.phase.set(PHASE_FLUSH);
         }
         let t_flush = now_ns();
+        let stall = self.flush_stall_ns.load(Ordering::Relaxed);
+        if stall > 0 {
+            dstore_pmem::latency::spin_for_ns(stall);
+        }
         self.pool.fence();
         if let Some(t) = &tel {
             t.ring.record("flush", t_flush, now_ns(), bytes, 0);

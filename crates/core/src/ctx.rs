@@ -21,11 +21,96 @@ use crate::ops::{self, ExtendParams, PhysImage, PutParams};
 use crate::stats::WriteBreakdown;
 use crate::store::StoreInner;
 use crate::structures::{blocks_for_geometry, PutKind, PutPlan, MAX_NAME_LEN, PAGE_BYTES};
+use crate::telemetry::StoreTelemetry;
 use dstore_dipper::log::{AppendResult, LogFull};
 use dstore_dipper::OP_NOOP;
+use dstore_telemetry::trace::{
+    ActiveTrace, SEG_ALLOC, SEG_CC_WAIT, SEG_COMMIT, SEG_INDEX, SEG_LOG_APPEND, SEG_LOG_STALL,
+    SEG_LOOKUP, SEG_SSD_READ, SEG_SSD_WRITE,
+};
+use dstore_telemetry::{now_ns, LatencyHistogram};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+
+/// Starts per-op instrumentation: ONE timestamp shared by the latency
+/// histogram and the trace start, plus the 1-in-N arming decision (a
+/// single relaxed `fetch_add`). With telemetry off the clock is read
+/// only if the caller needs it anyway (`force_clock`, for an explicit
+/// write breakdown).
+#[inline]
+fn op_begin(inner: &StoreInner, op: &'static str, force_clock: bool) -> (u64, ActiveTrace) {
+    let Some(tel) = inner.telemetry.as_deref() else {
+        let t0 = if force_clock { now_ns() } else { 0 };
+        return (t0, ActiveTrace::disabled());
+    };
+    let t0 = now_ns();
+    let at = match &tel.trace {
+        Some(tr) => {
+            let mut at = ActiveTrace::start(op, tr.sampler.arm(), t0);
+            // One relaxed load: lets a retained trace attribute itself
+            // to a checkpoint that ends mid-op (see op_end).
+            at.set_start_phase(tel.ckpt.phase.name());
+            at
+        }
+        None => ActiveTrace::disabled(),
+    };
+    (t0, at)
+}
+
+/// Completes per-op instrumentation: ONE `now_ns` read shared between
+/// the histogram sample and the trace end — the clock-read coalescing
+/// that keeps telemetry + tracing overhead on the hot path at two clock
+/// reads per op. A trace retained by sampling or the SLO is stamped
+/// with the in-flight checkpoint phase and the log fill before it lands
+/// in the flight recorder, tying tail samples to concurrent checkpoint
+/// activity.
+#[inline]
+fn op_end(
+    inner: &StoreInner,
+    hist: impl FnOnce(&StoreTelemetry) -> &LatencyHistogram,
+    t0: u64,
+    at: ActiveTrace,
+    last_seg: usize,
+) {
+    let Some(tel) = inner.telemetry.as_deref() else {
+        return;
+    };
+    let end = now_ns();
+    hist(tel).record(end.saturating_sub(t0));
+    if let Some(tr) = &tel.trace {
+        let start_phase = at.start_phase();
+        if let Some(mut t) = at.finish(last_seg, end, tr.sampler.slo_ns()) {
+            // Attribute the op to the checkpoint phase in flight at
+            // completion; if the checkpoint ended mid-op (an op stalled
+            // behind a CoW image copy resumes only once the copier goes
+            // idle), the phase at op start still names the culprit.
+            let phase = tel.ckpt.phase.name();
+            t.phase = if phase == "idle" && !start_phase.is_empty() {
+                start_phase
+            } else {
+                phase
+            };
+            t.log_used_milli = (inner.log.used_fraction().clamp(0.0, 1.0) * 1000.0).round() as u32;
+            tr.ring.record(&t);
+        }
+    }
+}
+
+/// Re-stamps the trace's fallback phase at a stall point. An op that
+/// began while the store was idle can still spend its whole life behind
+/// a checkpoint that triggered mid-op (a full log forces one; a CoW
+/// image copy blocks mutators); sampling the `PhaseCell` right where
+/// the op is about to wait — or has just finished waiting — keeps the
+/// attribution honest. Only called off the fast path.
+#[inline]
+fn note_stall_phase(inner: &StoreInner, at: &mut ActiveTrace) {
+    if let Some(tel) = inner.telemetry.as_deref() {
+        let p = tel.ckpt.phase.name();
+        if p != "idle" {
+            at.set_start_phase(p);
+        }
+    }
+}
 
 /// A per-thread handle for submitting operations (the paper's
 /// `ds_ctx_t`). Cheap to create; one per thread is the intended pattern.
@@ -94,30 +179,33 @@ impl DsContext {
         mut bd: Option<&mut WriteBreakdown>,
     ) -> DsResult<()> {
         Self::check_name(key)?;
-        let t_total = Instant::now();
         let inner = &self.inner;
         let size = value.len() as u64;
+        let (t0, mut at) = op_begin(inner, "put", bd.is_some());
 
         let (handle, lsn, plan) = self.mutate_plan(
             key,
             |d, log_mode| prepare_put_record(d, log_mode, key, size),
             |d| d.plan_put(key, size),
             &mut bd,
+            &mut at,
         )?;
 
         // Steps ⑥⑦: metadata entry + B-tree, outside the synchronous
         // region (OE).
-        let t = Instant::now();
+        let t = bd.is_some().then(now_ns);
         {
             let _bt = inner.btree_lock.write();
             inner.domain().install_put(key, size, &plan, lsn);
         }
-        let install_ns = t.elapsed().as_nanos() as u64;
+        at.mark(SEG_INDEX);
+        let install_ns = t.map(|t| now_ns().saturating_sub(t)).unwrap_or(0);
 
         // Step ⑧: data to SSD.
-        let t = Instant::now();
+        let t = bd.is_some().then(now_ns);
         self.write_blocks(&plan.blocks, value);
-        let nvme_ns = t.elapsed().as_nanos() as u64;
+        at.mark(SEG_SSD_WRITE);
+        let nvme_ns = t.map(|t| now_ns().saturating_sub(t)).unwrap_or(0);
 
         // The object's mutation is complete (data durable at step ⑧):
         // release the writer mark *before* committing the record. A
@@ -127,9 +215,9 @@ impl DsContext {
         inner.writers.unregister(key);
 
         // Step ⑨: commit.
-        let t = Instant::now();
+        let t = bd.is_some().then(now_ns);
         inner.log.commit(handle);
-        let commit_ns = t.elapsed().as_nanos() as u64;
+        let commit_ns = t.map(|t| now_ns().saturating_sub(t)).unwrap_or(0);
 
         inner.stats.puts.fetch_add(1, Ordering::Relaxed);
         inner.maybe_checkpoint();
@@ -138,11 +226,9 @@ impl DsContext {
             bd.btree_ns += install_ns / 2;
             bd.metadata_ns += install_ns - install_ns / 2;
             bd.log_flush_ns += commit_ns;
-            bd.total_ns = t_total.elapsed().as_nanos() as u64;
+            bd.total_ns = now_ns().saturating_sub(t0);
         }
-        if let Some(tel) = &inner.telemetry {
-            tel.op_put.record(t_total.elapsed().as_nanos() as u64);
-        }
+        op_end(inner, |tel| tel.op_put.as_ref(), t0, at, SEG_COMMIT);
         Ok(())
     }
 
@@ -150,7 +236,7 @@ impl DsContext {
     pub fn get(&self, key: &[u8]) -> DsResult<Vec<u8>> {
         Self::check_name(key)?;
         let inner = &self.inner;
-        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
+        let (t0, mut at) = op_begin(inner, "get", false);
         let _drain = inner.drain.read();
         loop {
             // Read-write CC (§4.4): register as a reader, then back off if
@@ -160,6 +246,7 @@ impl DsContext {
                 drop(_guard);
                 inner.stats.rw_backoffs.fetch_add(1, Ordering::Relaxed);
                 inner.writers.wait_clear(key);
+                at.mark(SEG_CC_WAIT);
                 continue;
             }
             let (size, blocks) = {
@@ -169,12 +256,11 @@ impl DsContext {
                 let (size, _, blocks) = d.read_entry(e);
                 (size, blocks)
             };
+            at.mark(SEG_LOOKUP);
             let mut out = vec![0u8; size as usize];
             self.read_blocks(&blocks, &mut out);
             inner.stats.gets.fetch_add(1, Ordering::Relaxed);
-            if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
-                tel.op_get.record(t0.elapsed().as_nanos() as u64);
-            }
+            op_end(inner, |tel| tel.op_get.as_ref(), t0, at, SEG_SSD_READ);
             return Ok(out);
         }
     }
@@ -183,7 +269,7 @@ impl DsContext {
     pub fn delete(&self, key: &[u8]) -> DsResult<()> {
         Self::check_name(key)?;
         let inner = &self.inner;
-        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
+        let (t0, mut at) = op_begin(inner, "delete", false);
         let (handle, _lsn, _plan) = self.mutate_plan(
             key,
             |d, log_mode| match log_mode {
@@ -210,19 +296,19 @@ impl DsContext {
                 })
             },
             &mut None,
+            &mut at,
         )?;
         {
             let _bt = inner.btree_lock.write();
             inner.domain().install_delete(key);
         }
+        at.mark(SEG_INDEX);
         // Unregister before commit (see put_timed).
         inner.writers.unregister(key);
         inner.log.commit(handle);
         inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
         inner.maybe_checkpoint();
-        if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
-            tel.op_delete.record(t0.elapsed().as_nanos() as u64);
-        }
+        op_end(inner, |tel| tel.op_delete.as_ref(), t0, at, SEG_COMMIT);
         Ok(())
     }
 
@@ -307,6 +393,7 @@ impl DsContext {
                         },
                         |d| d.plan_put(name, size),
                         &mut None,
+                        &mut ActiveTrace::disabled(),
                     )?;
                     {
                         let _bt = inner.btree_lock.write();
@@ -377,6 +464,13 @@ impl DsContext {
     /// the pool plan in log order, and registers as the object's writer.
     /// On return the caller holds the object exclusively (no in-flight
     /// writers, no readers) and must eventually `commit` + `unregister`.
+    ///
+    /// Trace attribution (`at` is a no-op unless the op is armed):
+    /// lock/drain acquisition, conflict spins, reader drains, and CoW
+    /// assists land in `cc_wait`; the pool-locked append in
+    /// `log_append`; the pool plan in `alloc`; blocking log-full
+    /// checkpoints in `log_stall`. The uninstrumented path performs zero
+    /// clock reads here.
     fn mutate_plan<P>(
         &self,
         name: &[u8],
@@ -386,12 +480,20 @@ impl DsContext {
         ) -> (u16, Vec<u8>),
         plan: impl Fn(&crate::structures::Domain<'_, dstore_arena::DramMemory>) -> DsResult<P>,
         bd: &mut Option<&mut WriteBreakdown>,
+        at: &mut ActiveTrace,
     ) -> DsResult<(dstore_dipper::RecordHandle, u64, P)> {
         let inner = &self.inner;
         loop {
             let _drain = inner.drain.read();
             let _global = (!inner.cfg.oe).then(|| inner.global_lock.lock());
-            let t_log = Instant::now();
+            // One stamp marks the sync-region start for both the write
+            // breakdown and the trace (coalesced clock read).
+            let t_log = if bd.is_some() || at.armed() {
+                now_ns()
+            } else {
+                0
+            };
+            at.mark_at(SEG_CC_WAIT, t_log);
             type Appended<P> = (
                 AppendResult,
                 Vec<dstore_dipper::RecordHandle>,
@@ -409,6 +511,7 @@ impl DsContext {
                 match inner.log.try_append(op, name, &params) {
                     Err(LogFull) => Err(LogFull),
                     Ok(r) => {
+                        at.mark(SEG_LOG_APPEND);
                         // The holder of an olock on this object passes
                         // its own lock record.
                         let conflicts: Vec<_> = r
@@ -428,6 +531,7 @@ impl DsContext {
                                 // the synchronous region.
                                 inner.writers.register(name);
                             }
+                            at.mark(SEG_ALLOC);
                             Ok((r, conflicts, Some(p)))
                         } else {
                             Ok((r, conflicts, None))
@@ -438,9 +542,14 @@ impl DsContext {
             };
             match appended {
                 Err(LogFull) => {
+                    at.mark(SEG_LOG_APPEND);
                     drop(_global);
                     drop(_drain);
                     inner.handle_log_full();
+                    // The forced checkpoint is in flight when the stall
+                    // ends — name it even if it finishes before we do.
+                    note_stall_phase(inner, at);
+                    at.mark(SEG_LOG_STALL);
                     continue;
                 }
                 Ok((r, conflicts, plan_result)) => {
@@ -455,6 +564,7 @@ impl DsContext {
                         for c in &conflicts {
                             inner.log.wait_committed(*c);
                         }
+                        at.mark(SEG_CC_WAIT);
                         continue;
                     }
                     let p = match plan_result.expect("planned when conflict-free") {
@@ -470,7 +580,7 @@ impl DsContext {
                         // The synchronous region ≈ log write + flush +
                         // pool allocation; attribute it to the log-flush
                         // and metadata columns.
-                        let ns = t_log.elapsed().as_nanos() as u64;
+                        let ns = now_ns().saturating_sub(t_log);
                         bd.log_flush_ns += ns / 2;
                         bd.metadata_ns += ns - ns / 2;
                     }
@@ -478,10 +588,14 @@ impl DsContext {
                     // off because we are registered).
                     inner.readers.wait_for_readers(name);
                     // CoW checkpoints: wait for / assist the page copy
-                    // before mutating any frontend page.
+                    // before mutating any frontend page. The phase is
+                    // published before `active`, so sampling it here
+                    // catches the checkpoint this op is about to wait on.
                     if let Some(cow) = &inner.cow {
+                        note_stall_phase(inner, at);
                         cow.wait_or_assist();
                     }
+                    at.mark(SEG_CC_WAIT);
                     return Ok((r.handle, r.lsn, p));
                 }
             }
@@ -623,7 +737,7 @@ impl ObjectHandle<'_> {
     /// read (clamped at the object end).
     pub fn read(&self, buf: &mut [u8], offset: u64) -> DsResult<usize> {
         let inner = &self.ctx.inner;
-        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
+        let (t0, mut at) = op_begin(inner, "oread", false);
         let _drain = inner.drain.read();
         loop {
             let _guard = inner.readers.begin_read(&self.name);
@@ -631,6 +745,7 @@ impl ObjectHandle<'_> {
                 drop(_guard);
                 inner.stats.rw_backoffs.fetch_add(1, Ordering::Relaxed);
                 inner.writers.wait_clear(&self.name);
+                at.mark(SEG_CC_WAIT);
                 continue;
             }
             let (size, blocks) = {
@@ -640,10 +755,9 @@ impl ObjectHandle<'_> {
                 let (size, _, blocks) = d.read_entry(e);
                 (size, blocks)
             };
+            at.mark(SEG_LOOKUP);
             if offset >= size {
-                if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
-                    tel.op_oread.record(t0.elapsed().as_nanos() as u64);
-                }
+                op_end(inner, |tel| tel.op_oread.as_ref(), t0, at, SEG_LOOKUP);
                 return Ok(0);
             }
             let d = inner.domain();
@@ -666,9 +780,7 @@ impl ObjectHandle<'_> {
                 done += take;
             }
             inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-            if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
-                tel.op_oread.record(t0.elapsed().as_nanos() as u64);
-            }
+            op_end(inner, |tel| tel.op_oread.as_ref(), t0, at, SEG_SSD_READ);
             return Ok(n);
         }
     }
@@ -680,7 +792,7 @@ impl ObjectHandle<'_> {
             return Err(DsError::BadMode);
         }
         let inner = &self.ctx.inner;
-        let t0 = inner.telemetry.as_ref().map(|_| Instant::now());
+        let (t0, mut at) = op_begin(inner, "owrite", false);
         let len = data.len() as u64;
         let (handle, lsn, plan) = self.ctx.mutate_plan(
             &self.name,
@@ -692,11 +804,13 @@ impl ObjectHandle<'_> {
             },
             |d| d.plan_extend(&self.name, offset, len),
             &mut None,
+            &mut at,
         )?;
         {
             let _bt = inner.btree_lock.write();
             inner.domain().install_extend(&self.name, &plan, lsn);
         }
+        at.mark(SEG_INDEX);
         // Data: sub-page head/tail via partial writes, whole pages via
         // page writes.
         let d = inner.domain();
@@ -718,13 +832,12 @@ impl ObjectHandle<'_> {
             }
             done += take;
         }
+        at.mark(SEG_SSD_WRITE);
         inner.writers.unregister(&self.name);
         inner.log.commit(handle);
         inner.stats.writes.fetch_add(1, Ordering::Relaxed);
         inner.maybe_checkpoint();
-        if let (Some(tel), Some(t0)) = (inner.telemetry.as_ref(), t0) {
-            tel.op_owrite.record(t0.elapsed().as_nanos() as u64);
-        }
+        op_end(inner, |tel| tel.op_owrite.as_ref(), t0, at, SEG_COMMIT);
         Ok(data.len())
     }
 }

@@ -89,12 +89,15 @@ impl StatsSnapshot {
         self.puts + self.gets + self.deletes + self.writes + self.reads
     }
 
-    /// Operations per second between `earlier` and this snapshot
-    /// (0.0 on an empty interval).
+    /// Operations per second between `earlier` and this snapshot — 0.0
+    /// on an empty interval, a same-clock-tick pair, or snapshots
+    /// compared out of order (as merged fleet snapshots can be).
     pub fn rate_since(&self, earlier: &StatsSnapshot) -> f64 {
-        dstore_telemetry::rate_per_sec(
-            self.total_ops().saturating_sub(earlier.total_ops()),
-            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        dstore_telemetry::rate_between(
+            self.total_ops(),
+            earlier.total_ops(),
+            self.elapsed_ns,
+            earlier.elapsed_ns,
         )
     }
 

@@ -254,7 +254,9 @@ impl DStore {
         shadow0.persist_allocated();
         root.set_app_dir(dir.offset());
 
-        let telemetry = cfg.telemetry.then(|| Arc::new(StoreTelemetry::new()));
+        let telemetry = cfg
+            .telemetry
+            .then(|| Arc::new(StoreTelemetry::new(&cfg.trace)));
         Ok(Self {
             inner: Self::assemble(
                 cfg,
@@ -485,8 +487,8 @@ impl DStore {
         let tel = self.inner.telemetry.as_ref()?;
         // Refresh the gauges the registry cannot compute itself.
         tel.log_used.set(self.inner.log.used_fraction());
-        tel.arena_high_water
-            .set(self.inner.dram.stats().high_water as f64);
+        let arena = self.inner.dram.stats();
+        tel.arena_high_water.set(arena.high_water as f64);
         let domain = self.inner.domain();
         let ppb = domain.pages_per_block();
         let capacity = (self.inner.cfg.ssd_pages - 1) / ppb;
@@ -528,7 +530,53 @@ impl DStore {
         let d = self.inner.ssd.stats().snapshot();
         snap.push_counter("dstore_ssd_write_bytes_total", vec![], d.write_bytes);
         snap.push_counter("dstore_ssd_read_bytes_total", vec![], d.read_bytes);
+        // Allocator contention (feeds the alloc segment's cc story).
+        snap.push_counter(
+            "dstore_arena_alloc_stalls_total",
+            vec![],
+            arena.alloc_stalls,
+        );
+        snap.push_counter(
+            "dstore_arena_alloc_stall_ns_total",
+            vec![],
+            arena.alloc_stall_ns,
+        );
         Some(snap)
+    }
+
+    /// Tail-latency attribution over the retained traces in the flight
+    /// recorder: per-segment time split between ops above and below the
+    /// given percentile of retained-trace duration (a live Table 3 for
+    /// the tail). `None` when telemetry or tracing is disabled, or when
+    /// no trace has been retained yet.
+    pub fn tail_attribution(&self, percentile: f64) -> Option<dstore_telemetry::TailAttribution> {
+        let tel = self.inner.telemetry.as_ref()?;
+        let traces = tel.trace.as_ref()?.ring.snapshot();
+        if traces.is_empty() {
+            return None;
+        }
+        Some(dstore_telemetry::TailAttribution::from_traces(
+            &traces, percentile,
+        ))
+    }
+
+    /// Test-only injection: spin for `ns` nanoseconds inside the next
+    /// checkpoints' flush phase (both engines), so tests can manufacture
+    /// checkpoint-correlated tail latency deterministically. 0 disables.
+    #[doc(hidden)]
+    pub fn inject_checkpoint_flush_stall(&self, ns: u64) {
+        match self.inner.cfg.checkpoint {
+            CheckpointMode::Dipper => {
+                if let Some(c) = self.inner.ckpt.lock().as_ref() {
+                    c.inject_flush_stall_ns(ns);
+                }
+            }
+            CheckpointMode::Cow => {
+                if let Some(c) = &self.inner.cow {
+                    c.inject_flush_stall_ns(ns);
+                }
+            }
+        }
     }
 
     /// The checkpoint phase currently in flight (`"idle"` when none, or
@@ -557,7 +605,11 @@ impl DStore {
                 .log_full_stalls
                 .load(std::sync::atomic::Ordering::Relaxed),
             spans_dropped: tel
-                .map(|t| t.ckpt.ring.dropped() + t.recovery_ring.dropped())
+                .map(|t| {
+                    t.ckpt.ring.dropped()
+                        + t.recovery_ring.dropped()
+                        + t.trace.as_ref().map(|tr| tr.ring.dropped()).unwrap_or(0)
+                })
                 .unwrap_or(0),
         }
     }
@@ -659,7 +711,9 @@ impl DStore {
         }
 
         let dir: RelPtr<Directory> = RelPtr::from_offset(root.app_dir());
-        let telemetry = cfg.telemetry.then(|| Arc::new(StoreTelemetry::new()));
+        let telemetry = cfg
+            .telemetry
+            .then(|| Arc::new(StoreTelemetry::new(&cfg.trace)));
         let rec_span = |name: &'static str, start: u64, a: u64, b: u64| {
             if let Some(t) = &telemetry {
                 t.recovery_ring

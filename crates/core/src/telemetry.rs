@@ -9,13 +9,25 @@
 //! registration (store assembly) and snapshot time.
 
 use dstore_dipper::checkpoint::{CheckpointTelemetry, CHECKPOINT_PHASES};
-use dstore_telemetry::{Gauge, LatencyHistogram, MetricsRegistry, PhaseCell, SpanRing};
+use dstore_telemetry::{
+    Gauge, LatencyHistogram, MetricsRegistry, PhaseCell, SpanRing, TraceConfig, TraceRing,
+    TraceSampler,
+};
 use std::sync::Arc;
 
 /// Spans kept per checkpoint ring (4 phases × 64 checkpoints).
 const CKPT_RING_CAPACITY: usize = 256;
 /// Spans kept for recovery (one recovery records 3).
 const RECOVERY_RING_CAPACITY: usize = 32;
+
+/// Flight-recorder handles: the ring retained traces land in plus the
+/// per-op arming / SLO-retention decisions.
+pub(crate) struct TraceTelemetry {
+    /// The flight recorder itself.
+    pub ring: Arc<TraceRing>,
+    /// 1-in-N arming and the SLO threshold, shared by every op path.
+    pub sampler: TraceSampler,
+}
 
 /// All telemetry handles of one store. Cheap to clone handles out of;
 /// the registry owns the canonical series set.
@@ -45,10 +57,13 @@ pub(crate) struct StoreTelemetry {
     pub arena_high_water: Arc<Gauge>,
     /// SSD allocation blocks in use, refreshed at snapshot time.
     pub ssd_blocks_used: Arc<Gauge>,
+    /// Per-op flight recorder, present when
+    /// [`crate::DStoreConfig::trace`] is enabled.
+    pub trace: Option<TraceTelemetry>,
 }
 
 impl StoreTelemetry {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(trace_cfg: &TraceConfig) -> Self {
         let registry = MetricsRegistry::new();
         let hist = |op: &str| registry.histogram("dstore_op_latency_ns", &[("op", op)]);
         let ckpt = CheckpointTelemetry {
@@ -56,7 +71,12 @@ impl StoreTelemetry {
             phase: Arc::new(PhaseCell::new(CHECKPOINT_PHASES)),
             panics: registry.counter("dstore_checkpoint_panics_total", &[]),
         };
+        let trace = trace_cfg.enabled.then(|| TraceTelemetry {
+            ring: registry.trace_ring("dstore_op_traces", &[], trace_cfg.ring_capacity),
+            sampler: TraceSampler::new(trace_cfg.sample_every, trace_cfg.slo_ns),
+        });
         Self {
+            trace,
             op_put: hist("put"),
             op_get: hist("get"),
             op_delete: hist("delete"),

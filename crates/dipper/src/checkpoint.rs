@@ -106,6 +106,9 @@ struct CheckpointInner {
     stats: CheckpointStats,
     telemetry: Mutex<Option<CheckpointTelemetry>>,
     tx: Mutex<Option<crossbeam::channel::Sender<Job>>>,
+    /// Test-only injection: extra nanoseconds spun inside the flush
+    /// phase of every checkpoint (0 = none).
+    flush_stall_ns: AtomicU64,
 }
 
 impl Checkpointer {
@@ -129,6 +132,7 @@ impl Checkpointer {
             stats: CheckpointStats::default(),
             telemetry: Mutex::new(None),
             tx: Mutex::new(Some(tx)),
+            flush_stall_ns: AtomicU64::new(0),
         });
         let w_inner = Arc::clone(&inner);
         let worker = std::thread::Builder::new()
@@ -176,6 +180,15 @@ impl Checkpointer {
     /// spans into them. Intended to be called once at store assembly.
     pub fn set_telemetry(&self, t: CheckpointTelemetry) {
         *self.inner.telemetry.lock() = Some(t);
+    }
+
+    /// Test-only injection: spin for `ns` nanoseconds inside the flush
+    /// phase of every subsequent checkpoint (0 disables). Lets tests
+    /// manufacture a slow checkpoint deterministically without a huge
+    /// working set.
+    #[doc(hidden)]
+    pub fn inject_flush_stall_ns(&self, ns: u64) {
+        self.inner.flush_stall_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Whether a checkpoint is currently running.
@@ -270,7 +283,7 @@ impl CheckpointInner {
     fn run_apply(&self, archived: usize) {
         let records = self.log.committed_records(archived);
         let tel = self.telemetry.lock().clone();
-        apply_checkpoint(
+        apply_checkpoint_with_stall(
             &self.pool,
             &self.layout,
             &self.root,
@@ -278,6 +291,7 @@ impl CheckpointInner {
             &records,
             &self.stats,
             tel.as_ref(),
+            self.flush_stall_ns.load(Ordering::Relaxed),
         );
     }
 }
@@ -296,6 +310,22 @@ pub fn apply_checkpoint(
     records: &[OwnedRecord],
     stats: &CheckpointStats,
     telemetry: Option<&CheckpointTelemetry>,
+) {
+    apply_checkpoint_with_stall(pool, layout, root, applier, records, stats, telemetry, 0);
+}
+
+/// [`apply_checkpoint`] with a test-only flush-phase stall (see
+/// [`Checkpointer::inject_flush_stall_ns`]).
+#[allow(clippy::too_many_arguments)]
+fn apply_checkpoint_with_stall(
+    pool: &Arc<PmemPool>,
+    layout: &PmemLayout,
+    root: &Root,
+    applier: &Applier,
+    records: &[OwnedRecord],
+    stats: &CheckpointStats,
+    telemetry: Option<&CheckpointTelemetry>,
+    flush_stall_ns: u64,
 ) {
     let t0 = Instant::now();
     let enter = |idx: usize| {
@@ -348,6 +378,9 @@ pub fn apply_checkpoint(
     // 3. Durability: iterate over all allocated memory and flush it.
     enter(PHASE_FLUSH);
     let t_flush = now_ns();
+    if flush_stall_ns > 0 {
+        dstore_pmem::latency::spin_for_ns(flush_stall_ns);
+    }
     let dst = Arena::attach(dst_range).expect("copied shadow is a valid arena");
     dst.persist_allocated();
     span("flush", t_flush, dst.allocated_len() as u64, 0);

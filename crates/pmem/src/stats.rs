@@ -112,19 +112,23 @@ impl PmemSnapshot {
     }
 
     /// Write bandwidth in bytes/second over the interval since
-    /// `earlier` (0.0 if no time elapsed).
+    /// `earlier` (0.0 on a same-tick or out-of-order pair of snapshots).
     pub fn write_rate_since(&self, earlier: &PmemSnapshot) -> f64 {
-        dstore_telemetry::rate_per_sec(
-            self.write_bytes_since(earlier),
-            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        dstore_telemetry::rate_between(
+            self.flush_bytes + self.bulk_write_bytes,
+            earlier.flush_bytes + earlier.bulk_write_bytes,
+            self.elapsed_ns,
+            earlier.elapsed_ns,
         )
     }
 
     /// Read bandwidth in bytes/second over the interval since `earlier`.
     pub fn read_rate_since(&self, earlier: &PmemSnapshot) -> f64 {
-        dstore_telemetry::rate_per_sec(
-            self.read_bytes_since(earlier),
-            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        dstore_telemetry::rate_between(
+            self.bulk_read_bytes,
+            earlier.bulk_read_bytes,
+            self.elapsed_ns,
+            earlier.elapsed_ns,
         )
     }
 }

@@ -294,6 +294,20 @@ impl ShardedStore {
         merged
     }
 
+    /// Fleet-wide tail-latency attribution: pools every shard's retained
+    /// traces (the merged snapshot keeps them apart under `shard="<i>"`
+    /// labels; the pooled cut here answers "which segment makes the
+    /// fleet's tail slow"). `None` when no shard has a retained trace.
+    pub fn tail_attribution(&self, percentile: f64) -> Option<dstore_telemetry::TailAttribution> {
+        let traces = self.telemetry_snapshot().all_traces("dstore_op_traces");
+        if traces.is_empty() {
+            return None;
+        }
+        Some(dstore_telemetry::TailAttribution::from_traces(
+            &traces, percentile,
+        ))
+    }
+
     /// Per-shard health snapshots, index order.
     pub fn health(&self) -> Vec<dstore::HealthSnapshot> {
         self.stores.iter().map(|s| s.health()).collect()

@@ -73,19 +73,23 @@ impl SsdSnapshot {
     }
 
     /// Write bandwidth in bytes/second over the interval since
-    /// `earlier` (0.0 if no time elapsed).
+    /// `earlier` (0.0 on a same-tick or out-of-order pair of snapshots).
     pub fn write_rate_since(&self, earlier: &SsdSnapshot) -> f64 {
-        dstore_telemetry::rate_per_sec(
-            self.write_bytes_since(earlier),
-            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        dstore_telemetry::rate_between(
+            self.write_bytes,
+            earlier.write_bytes,
+            self.elapsed_ns,
+            earlier.elapsed_ns,
         )
     }
 
     /// Read bandwidth in bytes/second over the interval since `earlier`.
     pub fn read_rate_since(&self, earlier: &SsdSnapshot) -> f64 {
-        dstore_telemetry::rate_per_sec(
-            self.read_bytes_since(earlier),
-            self.elapsed_ns.saturating_sub(earlier.elapsed_ns),
+        dstore_telemetry::rate_between(
+            self.read_bytes,
+            earlier.read_bytes,
+            self.elapsed_ns,
+            earlier.elapsed_ns,
         )
     }
 }
@@ -107,5 +111,24 @@ mod tests {
         assert_eq!(b.write_bytes_since(&a), 4096);
         assert_eq!(b.read_bytes_since(&a), 8192);
         assert_eq!(a.write_bytes_since(&b), 0);
+    }
+
+    #[test]
+    fn rates_saturate_on_same_tick_and_out_of_order_snapshots() {
+        let s = SsdStats::new();
+        s.record_write(4096);
+        s.record_read(4096);
+        let a = s.snapshot();
+        // Same clock tick: zero interval must not divide to infinity.
+        let mut b = a;
+        b.write_bytes += 4096;
+        b.elapsed_ns = a.elapsed_ns;
+        assert_eq!(b.write_rate_since(&a), 0.0);
+        // Out of order (merged fleet snapshots can compare a later anchor
+        // as "earlier"): saturate to zero, never go negative.
+        let mut later = a;
+        later.elapsed_ns += 1_000_000;
+        assert_eq!(a.write_rate_since(&later), 0.0);
+        assert_eq!(a.read_rate_since(&later), 0.0);
     }
 }

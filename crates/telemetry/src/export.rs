@@ -1,10 +1,14 @@
-//! Render paths: Prometheus text exposition and a JSON document.
+//! Render paths: Prometheus text exposition, a JSON document, and a
+//! Chrome trace-event / Perfetto JSON timeline.
 //!
-//! Both render from [`TelemetrySnapshot`] only — layers never format
+//! All render from [`TelemetrySnapshot`] only — layers never format
 //! metrics themselves, so every consumer (scraper, `dstore_top`,
-//! `inspect`) sees the same numbers through the same serialization.
+//! `inspect`, `trace_dump`) sees the same numbers through the same
+//! serialization.
 
 use crate::snapshot::{Labels, TelemetrySnapshot};
+use crate::trace::SEGMENT_NAMES;
+use std::collections::BTreeMap;
 
 /// Sanitizes a metric/label name to `[a-zA-Z_][a-zA-Z0-9_]*`.
 fn sanitize_name(name: &str) -> String {
@@ -238,8 +242,152 @@ pub fn to_json(snapshot: &TelemetrySnapshot) -> String {
             )
         })
         .collect();
-    out.push_str(&format!("\"spans\":[{}]}}", spans.join(",")));
+    out.push_str(&format!("\"spans\":[{}],", spans.join(",")));
+
+    let traces: Vec<String> = snap
+        .traces
+        .iter()
+        .map(|s| {
+            let rows: Vec<String> = s
+                .traces
+                .iter()
+                .map(|t| {
+                    let segs: Vec<String> = SEGMENT_NAMES
+                        .iter()
+                        .zip(t.seg_ns)
+                        .filter(|(_, ns)| *ns > 0)
+                        .map(|(name, ns)| format!("\"{name}\":{ns}"))
+                        .collect();
+                    format!(
+                        "{{\"op\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"phase\":\"{}\",\
+                         \"log_used\":{},\"sampled\":{},\"slo\":{},\"seq\":{},\
+                         \"unattributed_ns\":{},\"segments\":{{{}}}}}",
+                        escape_json(t.op),
+                        t.start_ns,
+                        t.end_ns,
+                        escape_json(t.phase),
+                        t.log_used_fraction(),
+                        t.sampled,
+                        t.slo,
+                        t.seq,
+                        t.unattributed_ns(),
+                        segs.join(",")
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"labels\":{},\"traces\":[{}]}}",
+                escape_json(&s.name),
+                labels_json(&s.labels),
+                rows.join(",")
+            )
+        })
+        .collect();
+    out.push_str(&format!("\"traces\":[{}]}}", traces.join(",")));
     out
+}
+
+/// pid + process name for a series: shard-labeled series get their own
+/// Perfetto process row, everything else lands on pid 1 ("store").
+fn perfetto_pid(labels: &Labels) -> (u64, String) {
+    for (k, v) in labels {
+        if k == "shard" {
+            if let Ok(i) = v.parse::<u64>() {
+                return (i + 1, format!("shard {i}"));
+            }
+        }
+    }
+    (1, "store".to_string())
+}
+
+/// Renders the snapshot's traces and phase spans as Chrome trace-event
+/// JSON — load the output in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing` for a zoomable timeline.
+///
+/// Each retained [`crate::OpTrace`] becomes a complete (`"ph":"X"`) op
+/// slice with its segment breakdown as child slices laid out in
+/// pipeline order (durations are exact; boundaries between segments are
+/// reconstructed, since marks accumulate across retries). Checkpoint /
+/// recovery span rings render on a separate track, so op tails line up
+/// visually with the checkpoint phase that caused them. Shard-labeled
+/// series map to one Perfetto process per shard.
+pub fn to_perfetto(snapshot: &TelemetrySnapshot) -> String {
+    let mut snap = snapshot.clone();
+    snap.sort();
+    let mut events: Vec<String> = Vec::new();
+    let mut procs: BTreeMap<u64, String> = BTreeMap::new();
+    // Trace-event timestamps are microseconds; keep ns precision with
+    // fractional µs.
+    let us = |ns: u64| format!("{:.3}", ns as f64 / 1000.0);
+
+    for s in &snap.traces {
+        let (pid, pname) = perfetto_pid(&s.labels);
+        procs.insert(pid, pname);
+        for t in &s.traces {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{pid},\"tid\":1,\"args\":{{\"phase\":\"{}\",\"log_used\":{},\
+                 \"sampled\":{},\"slo\":{},\"seq\":{}}}}}",
+                escape_json(t.op),
+                us(t.start_ns),
+                us(t.duration_ns()),
+                escape_json(t.phase),
+                t.log_used_fraction(),
+                t.sampled,
+                t.slo,
+                t.seq
+            ));
+            let mut offset = t.start_ns;
+            for (name, ns) in SEGMENT_NAMES.iter().zip(t.seg_ns) {
+                if ns == 0 {
+                    continue;
+                }
+                events.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"segment\",\"ph\":\"X\",\"ts\":{},\
+                     \"dur\":{},\"pid\":{pid},\"tid\":1}}",
+                    us(offset),
+                    us(ns)
+                ));
+                offset += ns;
+            }
+        }
+    }
+    for s in &snap.spans {
+        let (pid, pname) = perfetto_pid(&s.labels);
+        procs.insert(pid, pname);
+        for sp in &s.spans {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{pid},\"tid\":2,\"args\":{{\"a\":{},\"b\":{},\"seq\":{}}}}}",
+                escape_json(sp.name),
+                escape_json(&s.name),
+                us(sp.start_ns),
+                us(sp.duration_ns()),
+                sp.a,
+                sp.b,
+                sp.seq
+            ));
+        }
+    }
+    for (pid, pname) in &procs {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(pname)
+        ));
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\
+             \"args\":{{\"name\":\"ops\"}}}}"
+        ));
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":2,\
+             \"args\":{{\"name\":\"checkpoint\"}}}}"
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\"}}",
+        events.join(",")
+    )
 }
 
 #[cfg(test)]
@@ -258,6 +406,78 @@ mod tests {
     fn label_escaping() {
         assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
         assert_eq!(escape_label_value("x\ny"), "x\\ny");
+    }
+
+    fn snapshot_with_trace() -> TelemetrySnapshot {
+        use crate::trace::{OpTrace, NUM_SEGMENTS, SEG_LOG_APPEND, SEG_SSD_WRITE};
+        let mut seg_ns = [0u64; NUM_SEGMENTS];
+        seg_ns[SEG_LOG_APPEND] = 400;
+        seg_ns[SEG_SSD_WRITE] = 500;
+        let mut s = TelemetrySnapshot::new();
+        s.push_traces(
+            "dstore_op_traces",
+            vec![("shard".into(), "2".into())],
+            vec![OpTrace {
+                op: "put",
+                start_ns: 1_000,
+                end_ns: 2_000,
+                seg_ns,
+                phase: "flush",
+                log_used_milli: 500,
+                sampled: true,
+                slo: true,
+                seq: 7,
+            }],
+        );
+        s.push_spans(
+            "dstore_checkpoint_spans",
+            vec![("shard".into(), "2".into())],
+            vec![crate::Span {
+                name: "apply",
+                start_ns: 900,
+                end_ns: 1_900,
+                a: 0,
+                b: 0,
+                seq: 0,
+            }],
+        );
+        s
+    }
+
+    #[test]
+    fn json_includes_traces() {
+        let j = to_json(&snapshot_with_trace());
+        assert!(j.contains("\"dstore_op_traces\""), "{j}");
+        assert!(j.contains("\"log_append\":400"), "{j}");
+        assert!(j.contains("\"phase\":\"flush\""), "{j}");
+        assert!(j.contains("\"unattributed_ns\":100"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn perfetto_renders_complete_events() {
+        let p = to_perfetto(&snapshot_with_trace());
+        assert!(p.starts_with("{\"traceEvents\":["), "{p}");
+        // The op slice, its segments, and the checkpoint span.
+        assert!(
+            p.contains("\"name\":\"put\",\"cat\":\"op\",\"ph\":\"X\""),
+            "{p}"
+        );
+        assert!(
+            p.contains("\"name\":\"log_append\",\"cat\":\"segment\""),
+            "{p}"
+        );
+        assert!(
+            p.contains("\"name\":\"apply\",\"cat\":\"dstore_checkpoint_spans\""),
+            "{p}"
+        );
+        // The shard label became a Perfetto process.
+        assert!(p.contains("\"name\":\"shard 2\""), "{p}");
+        // Timestamps are µs with ns precision: 1000 ns op start = 1 µs.
+        assert!(p.contains("\"ts\":1.000,\"dur\":1.000"), "{p}");
+        assert_eq!(p.matches('{').count(), p.matches('}').count());
+        assert_eq!(p.matches('[').count(), p.matches(']').count());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   torn;
 //! * [`PhaseCell`] — a one-word "what phase is in flight right now"
 //!   indicator;
+//! * [`TraceRing`] / [`OpTrace`] — the per-operation flight recorder:
+//!   1-in-N sampled segment breakdowns with SLO-retained outliers,
+//!   [`TailAttribution`] reports, and a Chrome trace-event / Perfetto
+//!   exporter ([`export::to_perfetto`]);
 //! * [`MetricsRegistry`] — named counters / gauges / histograms / span
 //!   rings with Prometheus-style labels. Recording through a registered
 //!   handle is lock-free (plain relaxed atomics); only registration and
@@ -33,10 +37,15 @@ pub mod histogram;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
-pub use clock::{now_ns, rate_per_sec};
-pub use export::{to_json, to_prometheus};
+pub use clock::{now_ns, rate_between, rate_per_sec};
+pub use export::{to_json, to_perfetto, to_prometheus};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use snapshot::{Labels, TelemetrySnapshot};
 pub use span::{PhaseCell, Span, SpanRing};
+pub use trace::{
+    ActiveTrace, OpTrace, TailAttribution, TraceConfig, TraceRing, TraceSampler, NUM_SEGMENTS,
+    SEGMENT_NAMES,
+};

@@ -10,6 +10,7 @@
 use crate::histogram::LatencyHistogram;
 use crate::snapshot::{Labels, TelemetrySnapshot};
 use crate::span::SpanRing;
+use crate::trace::TraceRing;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +75,7 @@ pub struct MetricsRegistry {
     gauges: RwLock<BTreeMap<Key, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<Key, Arc<LatencyHistogram>>>,
     spans: RwLock<BTreeMap<Key, Arc<SpanRing>>>,
+    traces: RwLock<BTreeMap<Key, Arc<TraceRing>>>,
 }
 
 impl MetricsRegistry {
@@ -124,6 +126,26 @@ impl MetricsRegistry {
         )
     }
 
+    /// Registers (or fetches) a trace ring (per-op flight recorder).
+    /// `capacity` applies only on first registration.
+    pub fn trace_ring(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        capacity: usize,
+    ) -> Arc<TraceRing> {
+        let k = key(name, labels);
+        if let Some(r) = self.traces.read().get(&k) {
+            return Arc::clone(r);
+        }
+        Arc::clone(
+            self.traces
+                .write()
+                .entry(k)
+                .or_insert_with(|| Arc::new(TraceRing::new(capacity))),
+        )
+    }
+
     /// Snapshots every registered series.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut out = TelemetrySnapshot::new();
@@ -138,6 +160,9 @@ impl MetricsRegistry {
         }
         for ((name, labels), r) in self.spans.read().iter() {
             out.push_spans(name, labels.clone(), r.snapshot());
+        }
+        for ((name, labels), r) in self.traces.read().iter() {
+            out.push_traces(name, labels.clone(), r.snapshot());
         }
         out
     }

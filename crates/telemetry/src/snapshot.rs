@@ -9,6 +9,7 @@
 
 use crate::histogram::HistogramSnapshot;
 use crate::span::Span;
+use crate::trace::OpTrace;
 
 /// Label pairs, sorted by key on render.
 pub type Labels = Vec<(String, String)>;
@@ -57,6 +58,17 @@ pub struct SpanSeries {
     pub spans: Vec<Span>,
 }
 
+/// One trace-ring snapshot (per-op flight recorder contents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSeries {
+    /// Ring name.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Labels,
+    /// Retained traces, oldest first.
+    pub traces: Vec<OpTrace>,
+}
+
 /// A point-in-time copy of every metric a store (or shard fleet)
 /// exposes.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -71,6 +83,8 @@ pub struct TelemetrySnapshot {
     pub histograms: Vec<HistogramSeries>,
     /// Span-ring series.
     pub spans: Vec<SpanSeries>,
+    /// Trace-ring series (flight recorder).
+    pub traces: Vec<TraceSeries>,
 }
 
 impl TelemetrySnapshot {
@@ -118,6 +132,15 @@ impl TelemetrySnapshot {
         });
     }
 
+    /// Appends a trace-ring series.
+    pub fn push_traces(&mut self, name: &str, labels: Labels, traces: Vec<OpTrace>) {
+        self.traces.push(TraceSeries {
+            name: name.into(),
+            labels,
+            traces,
+        });
+    }
+
     /// Adds a label pair to every series — how a shard's snapshot is
     /// tagged `shard="3"` before aggregation.
     pub fn with_label(mut self, key: &str, value: &str) -> Self {
@@ -134,6 +157,9 @@ impl TelemetrySnapshot {
         for s in &mut self.spans {
             s.labels.push(pair.clone());
         }
+        for s in &mut self.traces {
+            s.labels.push(pair.clone());
+        }
         self
     }
 
@@ -143,6 +169,7 @@ impl TelemetrySnapshot {
         self.gauges.extend(other.gauges);
         self.histograms.extend(other.histograms);
         self.spans.extend(other.spans);
+        self.traces.extend(other.traces);
     }
 
     /// Sorts every series by (name, labels) for deterministic render.
@@ -156,6 +183,7 @@ impl TelemetrySnapshot {
         self.gauges.sort_by_key(|s| key(&s.name, &s.labels));
         self.histograms.sort_by_key(|s| key(&s.name, &s.labels));
         self.spans.sort_by_key(|s| key(&s.name, &s.labels));
+        self.traces.sort_by_key(|s| key(&s.name, &s.labels));
     }
 
     /// Sum of all counter series with this name (any labels).
@@ -191,6 +219,19 @@ impl TelemetrySnapshot {
             .flat_map(|s| s.spans.iter().copied())
             .collect();
         out.sort_by_key(|s| (s.start_ns, s.seq));
+        out
+    }
+
+    /// All traces across series with this ring name, oldest first —
+    /// a fleet-wide timeline after shard snapshots are absorbed.
+    pub fn all_traces(&self, name: &str) -> Vec<OpTrace> {
+        let mut out: Vec<OpTrace> = self
+            .traces
+            .iter()
+            .filter(|s| s.name == name)
+            .flat_map(|s| s.traces.iter().copied())
+            .collect();
+        out.sort_by_key(|t| (t.start_ns, t.seq));
         out
     }
 }

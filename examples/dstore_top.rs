@@ -18,7 +18,7 @@
 
 use dstore::{DStoreConfig, StatsSnapshot};
 use dstore_shard::{SchedulerConfig, SchedulerMode, ShardedConfig, ShardedStore};
-use dstore_telemetry::{to_prometheus, HistogramSnapshot, TelemetrySnapshot};
+use dstore_telemetry::{to_prometheus, HistogramSnapshot, TelemetrySnapshot, SEGMENT_NAMES};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -106,6 +106,52 @@ fn frame(
             totals[i as usize],
             totals[i as usize] as f64 / mean,
         );
+    }
+    // Flight-recorder outliers: the most recent SLO-busting ops across
+    // the fleet, with the checkpoint phase each one overlapped and the
+    // segment it spent the most time in — the live tail-debugging view
+    // (`trace_dump` exports the same ring to Perfetto).
+    let mut outliers: Vec<(u64, String)> = snap
+        .traces
+        .iter()
+        .filter(|s| s.name == "dstore_op_traces")
+        .flat_map(|s| {
+            let shard = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| "-".into());
+            s.traces.iter().filter(|t| t.slo).map(move |t| {
+                let top = t
+                    .seg_ns
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, ns)| **ns)
+                    .filter(|(_, ns)| **ns > 0)
+                    .map(|(i, _)| SEGMENT_NAMES[i])
+                    .unwrap_or("-");
+                (
+                    t.end_ns,
+                    format!(
+                        "  {:>5}   {:<7}{:>10}   {:<8}{:<12}{:>7.0}%",
+                        shard,
+                        t.op,
+                        fmt_ns(t.duration_ns()),
+                        t.phase,
+                        top,
+                        t.log_used_fraction() * 100.0,
+                    ),
+                )
+            })
+        })
+        .collect();
+    outliers.sort_by_key(|(end, _)| std::cmp::Reverse(*end));
+    if !outliers.is_empty() {
+        println!("\n  outliers (SLO-retained)  shard/op/duration/phase/top-seg/log-fill");
+        for (_, line) in outliers.iter().take(5) {
+            println!("{line}");
+        }
     }
     let panics = snap.counter_total("dstore_checkpoint_panics_total");
     if panics > 0 {
