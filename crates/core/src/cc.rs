@@ -16,15 +16,51 @@
 //! release and retry, writers always drain.
 
 use dstore_index::fnv1a;
+use dstore_pmem::Backoff;
 use parking_lot::Mutex;
-use std::collections::HashSet;
 use std::time::Duration;
 
 const SHARDS: usize = 64;
 
-/// Sharded set of object names currently being mutated.
+/// Names at most this long are stored inline — no heap allocation on the
+/// register/unregister fast path (typical object names are short).
+const INLINE_NAME: usize = 32;
+
+/// An object name as stored in the in-flight set: inline for short
+/// names, heap-allocated only past [`INLINE_NAME`] bytes.
+enum NameBuf {
+    Inline { len: u8, bytes: [u8; INLINE_NAME] },
+    Heap(Vec<u8>),
+}
+
+impl NameBuf {
+    fn new(name: &[u8]) -> Self {
+        if name.len() <= INLINE_NAME {
+            let mut bytes = [0u8; INLINE_NAME];
+            bytes[..name.len()].copy_from_slice(name);
+            NameBuf::Inline {
+                len: name.len() as u8,
+                bytes,
+            }
+        } else {
+            NameBuf::Heap(name.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            NameBuf::Inline { len, bytes } => &bytes[..*len as usize],
+            NameBuf::Heap(v) => v,
+        }
+    }
+}
+
+/// Sharded set of object names currently being mutated. Entries carry
+/// their full FNV-1a tag so lookups compare bytes only on tag hits, and
+/// the per-shard population is at most the writer thread count, so a
+/// flat vector beats a hash set — and avoids its per-insert allocation.
 pub struct InflightWriters {
-    shards: Vec<Mutex<HashSet<Vec<u8>>>>,
+    shards: Vec<Mutex<Vec<(u64, NameBuf)>>>,
     stall_timeout: Duration,
 }
 
@@ -44,41 +80,60 @@ impl InflightWriters {
     /// `stall_timeout` (see `DStoreConfig::stall_timeout`).
     pub fn with_stall_timeout(stall_timeout: Duration) -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             stall_timeout,
         }
     }
 
     #[inline]
-    fn shard(&self, name: &[u8]) -> &Mutex<HashSet<Vec<u8>>> {
-        &self.shards[(fnv1a(name) as usize) & (SHARDS - 1)]
+    fn shard(&self, tag: u64) -> &Mutex<Vec<(u64, NameBuf)>> {
+        &self.shards[(tag as usize) & (SHARDS - 1)]
     }
 
     /// Registers a writer. Write-write CC (the log scan) guarantees at
     /// most one writer per object, so double registration is a logic bug.
     pub fn register(&self, name: &[u8]) {
-        let inserted = self.shard(name).lock().insert(name.to_vec());
-        debug_assert!(inserted, "two concurrent writers on one object");
+        let tag = fnv1a(name);
+        let mut shard = self.shard(tag).lock();
+        debug_assert!(
+            !shard.iter().any(|(t, n)| *t == tag && n.as_slice() == name),
+            "two concurrent writers on one object"
+        );
+        shard.push((tag, NameBuf::new(name)));
     }
 
     /// Unregisters a writer.
     pub fn unregister(&self, name: &[u8]) {
-        let removed = self.shard(name).lock().remove(name);
-        debug_assert!(removed, "unregister without register");
+        let tag = fnv1a(name);
+        let mut shard = self.shard(tag).lock();
+        let pos = shard
+            .iter()
+            .position(|(t, n)| *t == tag && n.as_slice() == name);
+        debug_assert!(pos.is_some(), "unregister without register");
+        if let Some(pos) = pos {
+            shard.swap_remove(pos);
+        }
     }
 
     /// Whether a writer is mutating `name` right now.
     pub fn contains(&self, name: &[u8]) -> bool {
-        self.shard(name).lock().contains(name)
+        let tag = fnv1a(name);
+        self.shard(tag)
+            .lock()
+            .iter()
+            .any(|(t, n)| *t == tag && n.as_slice() == name)
     }
 
-    /// Spins until no writer is mutating `name` (reader back-off path).
+    /// Waits until no writer is mutating `name` (reader back-off path):
+    /// exponential backoff from spinning to capped micro-sleeps, so a
+    /// contended key does not burn a core per blocked reader.
     pub fn wait_clear(&self, name: &[u8]) {
         let t = std::time::Instant::now();
+        let mut backoff = Backoff::new();
         while self.contains(name) {
-            std::thread::yield_now();
+            backoff.snooze();
             // Deadlock detector: writers unregister at the end of one op.
-            if t.elapsed() > self.stall_timeout {
+            if backoff.is_sleeping() && t.elapsed() > self.stall_timeout {
                 panic!(
                     "wait_clear stalled >{:?} on {:?} — leaked writer registration?",
                     self.stall_timeout,
@@ -125,6 +180,34 @@ mod tests {
         assert!(!w.contains(b"b"));
         w.unregister(b"a");
         assert!(!w.contains(b"a"));
+    }
+
+    #[test]
+    fn long_names_compare_exactly() {
+        let w = InflightWriters::new();
+        let long_a = vec![b'a'; 100];
+        let mut long_b = long_a.clone();
+        *long_b.last_mut().unwrap() = b'b';
+        w.register(&long_a);
+        assert!(w.contains(&long_a));
+        assert!(!w.contains(&long_b));
+        w.register(&long_b);
+        w.unregister(&long_a);
+        assert!(!w.contains(&long_a));
+        assert!(w.contains(&long_b));
+        w.unregister(&long_b);
+    }
+
+    #[test]
+    fn inline_boundary_roundtrips() {
+        let w = InflightWriters::new();
+        for len in [0usize, 1, 31, 32, 33] {
+            let name = vec![b'x'; len];
+            w.register(&name);
+            assert!(w.contains(&name), "len {len}");
+            w.unregister(&name);
+            assert!(!w.contains(&name), "len {len}");
+        }
     }
 
     #[test]

@@ -59,6 +59,19 @@ pub struct DStoreConfig {
     pub auto_checkpoint: bool,
     /// Log-occupancy fraction that triggers a checkpoint.
     pub swap_threshold: f64,
+    /// Block-pool free-list shards (§4.4 parallel persistence). Object
+    /// names hash to a home shard; writers on different shards allocate
+    /// concurrently, serializing only per shard. `1` restores a single
+    /// global FIFO. Clamped at format time to the block count.
+    pub pool_shards: usize,
+    /// Parallel persistence on the write path: the short reservation /
+    /// out-of-lock record flush split, per-shard allocation locking,
+    /// and commit-flag flush combining. When off, every mutating op
+    /// holds one global pool lock across append + flush + allocation
+    /// and commits fence individually — the pre-parallel-persistence
+    /// serialized write path, kept as a benchmark baseline
+    /// (`fig12_write_scaling`).
+    pub parallel_persistence: bool,
     /// Use the strict cache-line persistence simulator (crash tests).
     /// Benchmarks leave this off and rely on the latency models.
     pub strict_pmem: bool,
@@ -105,6 +118,8 @@ impl Default for DStoreConfig {
             oe: true,
             auto_checkpoint: true,
             swap_threshold: 0.75,
+            pool_shards: 8,
+            parallel_persistence: true,
             strict_pmem: false,
             pmem_latency: LatencyModel::none(),
             ssd_latency: SsdLatency::none(),
@@ -176,6 +191,16 @@ impl DStoreConfig {
         self.stall_timeout = timeout;
         self
     }
+    /// Sets the number of block-pool free-list shards.
+    pub fn with_pool_shards(mut self, shards: usize) -> Self {
+        self.pool_shards = shards;
+        self
+    }
+    /// Enables/disables the parallel-persistence write path.
+    pub fn with_parallel_persistence(mut self, on: bool) -> Self {
+        self.parallel_persistence = on;
+        self
+    }
 
     /// Validates the configuration, returning a description of the first
     /// problem. Called by [`crate::DStore::create`] so misconfigurations
@@ -225,15 +250,27 @@ impl DStoreConfig {
                 self.stall_timeout
             ));
         }
-        // The shadow arena must hold the block-pool ring plus headroom
+        if !(1..=crate::structures::MAX_POOL_SHARDS).contains(&self.pool_shards) {
+            return Err(format!(
+                "pool_shards = {} must be within [1, {}]",
+                self.pool_shards,
+                crate::structures::MAX_POOL_SHARDS
+            ));
+        }
+        // The shadow arena must hold the block-pool rings plus headroom
         // for per-object metadata; a pool array that alone exceeds the
-        // region would panic at format time.
-        let pool_bytes = (self.ssd_pages / self.pages_per_block) * 8;
+        // region would panic at format time. Each shard ring has full
+        // capacity (freed blocks follow the freeing name's shard).
+        let capacity = self.ssd_pages / self.pages_per_block;
+        let shards = (self.pool_shards as u64).min(capacity.max(1));
+        let pool_bytes = capacity * 8 * shards;
         if (self.shadow_size as u64) < pool_bytes * 2 + (1 << 20) {
             return Err(format!(
-                "shadow_size = {} cannot hold the {}-entry block pool plus metadata;                  increase it to at least {}",
+                "shadow_size = {} cannot hold {} block-pool shard rings of {} entries plus \
+                 metadata; increase it to at least {}",
                 self.shadow_size,
-                self.ssd_pages / self.pages_per_block,
+                shards,
+                capacity,
                 pool_bytes * 2 + (1 << 20)
             ));
         }
@@ -254,6 +291,8 @@ mod tests {
         assert_eq!(c.checkpoint, CheckpointMode::Dipper);
         assert_eq!(c.logging, LoggingMode::Logical);
         assert!(c.swap_threshold > 0.0 && c.swap_threshold < 1.0);
+        assert!(c.parallel_persistence);
+        assert_eq!(c.pool_shards, 8);
     }
 
     #[test]
@@ -287,6 +326,12 @@ mod tests {
         assert!(c.validate().unwrap_err().contains("stall_timeout"));
 
         let mut c = DStoreConfig::small();
+        c.pool_shards = 0;
+        assert!(c.validate().unwrap_err().contains("pool_shards"));
+        c.pool_shards = crate::structures::MAX_POOL_SHARDS + 1;
+        assert!(c.validate().unwrap_err().contains("pool_shards"));
+
+        let mut c = DStoreConfig::small();
         c.trace.ring_capacity = 0;
         assert!(c.validate().unwrap_err().contains("trace.ring_capacity"));
         c.trace.ring_capacity = (1 << 20) + 1;
@@ -303,6 +348,8 @@ mod tests {
             .with_logging(LoggingMode::Physical)
             .with_oe(false)
             .with_auto_checkpoint(false)
+            .with_pool_shards(4)
+            .with_parallel_persistence(false)
             .with_trace(TraceConfig {
                 sample_every: 16,
                 slo_ns: 250_000,
@@ -312,6 +359,8 @@ mod tests {
         assert_eq!(c.logging, LoggingMode::Physical);
         assert!(!c.oe);
         assert!(!c.auto_checkpoint);
+        assert_eq!(c.pool_shards, 4);
+        assert!(!c.parallel_persistence);
         assert!(c.strict_pmem);
         assert!(c.trace.enabled);
         assert_eq!(c.trace.sample_every, 16);

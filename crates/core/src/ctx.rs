@@ -25,8 +25,8 @@ use crate::telemetry::StoreTelemetry;
 use dstore_dipper::log::{AppendResult, LogFull};
 use dstore_dipper::OP_NOOP;
 use dstore_telemetry::trace::{
-    ActiveTrace, SEG_ALLOC, SEG_CC_WAIT, SEG_COMMIT, SEG_INDEX, SEG_LOG_APPEND, SEG_LOG_STALL,
-    SEG_LOOKUP, SEG_SSD_READ, SEG_SSD_WRITE,
+    ActiveTrace, SEG_ALLOC, SEG_CC_WAIT, SEG_COMMIT, SEG_INDEX, SEG_LOG_APPEND, SEG_LOG_FLUSH,
+    SEG_LOG_STALL, SEG_LOOKUP, SEG_SSD_READ, SEG_SSD_WRITE,
 };
 use dstore_telemetry::{now_ns, LatencyHistogram};
 use std::sync::atomic::Ordering;
@@ -141,12 +141,23 @@ impl DsContext {
         }
     }
 
-    /// Whether `h` is one of this context's own lock records.
-    fn is_own_lock(&self, name: &[u8], h: dstore_dipper::RecordHandle) -> bool {
+    /// Whether `h` is one of this context's own lock records, checked
+    /// while `res` is live (a reservation pins the log's swap lock, so
+    /// the resolution must go through [`Reservation::same_record`]
+    /// instead of the lock-taking [`OpLog::same_record`]).
+    ///
+    /// [`Reservation::same_record`]: dstore_dipper::Reservation::same_record
+    /// [`OpLog::same_record`]: dstore_dipper::OpLog::same_record
+    fn is_own_lock_res(
+        &self,
+        name: &[u8],
+        h: dstore_dipper::RecordHandle,
+        res: &dstore_dipper::Reservation<'_>,
+    ) -> bool {
         self.held_locks
             .lock()
             .iter()
-            .any(|(n, held)| n == name && self.inner.log.same_record(*held, h))
+            .any(|(n, held)| n == name && res.same_record(*held, h))
     }
 
     fn check_name(name: &[u8]) -> DsResult<()> {
@@ -186,7 +197,7 @@ impl DsContext {
         let (handle, lsn, plan) = self.mutate_plan(
             key,
             |d, log_mode| prepare_put_record(d, log_mode, key, size),
-            |d| d.plan_put(key, size),
+            |d, steal| d.plan_put_in(key, size, steal),
             &mut bd,
             &mut at,
         )?;
@@ -257,8 +268,7 @@ impl DsContext {
                 (size, blocks)
             };
             at.mark(SEG_LOOKUP);
-            let mut out = vec![0u8; size as usize];
-            self.read_blocks(&blocks, &mut out);
+            let out = self.read_blocks_into(&blocks, size as usize);
             inner.stats.gets.fetch_add(1, Ordering::Relaxed);
             op_end(inner, |tel| tel.op_get.as_ref(), t0, at, SEG_SSD_READ);
             return Ok(out);
@@ -288,7 +298,8 @@ impl DsContext {
                     )
                 }
             },
-            |d| {
+            // Deletes only push (to the name's own shard) — no steal.
+            |d, _steal| {
                 d.plan_delete(key).map(|p| PutPlan {
                     kind: PutKind::Replace,
                     blocks: vec![],
@@ -391,7 +402,7 @@ impl DsContext {
                             }
                             LoggingMode::Physical => prepare_put_record(d, log_mode, name, size),
                         },
-                        |d| d.plan_put(name, size),
+                        |d, steal| d.plan_put_in(name, size, steal),
                         &mut None,
                         &mut ActiveTrace::disabled(),
                     )?;
@@ -421,33 +432,34 @@ impl DsContext {
         let inner = &self.inner;
         loop {
             let _drain = inner.drain.read();
-            let r = {
-                let _g = inner.pool_lock.lock();
-                match inner.log.try_append(OP_NOOP, name, &[]) {
-                    Ok(r) => r,
-                    Err(LogFull) => {
-                        drop(_g);
-                        drop(_drain);
-                        inner.handle_log_full();
-                        continue;
+            // A NOOP record touches no pool shard, so the log's own
+            // reservation order is all the serialization it needs.
+            let conflicts = match inner.log.reserve(OP_NOOP, name, 0) {
+                Err(LogFull) => {
+                    drop(_drain);
+                    inner.handle_log_full();
+                    continue;
+                }
+                Ok(res) => {
+                    let conflicts: Vec<_> = res
+                        .conflicts()
+                        .iter()
+                        .filter(|c| !self.is_own_lock_res(name, **c, &res))
+                        .copied()
+                        .collect();
+                    if conflicts.is_empty() {
+                        let r = res.publish(&[]);
+                        self.held_locks.lock().push((name.to_vec(), r.handle));
+                        return Ok(DsLock {
+                            ctx: self,
+                            name: name.to_vec(),
+                            handle: r.handle,
+                        });
                     }
+                    res.abort();
+                    conflicts
                 }
             };
-            let conflicts: Vec<_> = r
-                .conflicts
-                .iter()
-                .filter(|c| !self.is_own_lock(name, **c))
-                .copied()
-                .collect();
-            if conflicts.is_empty() {
-                self.held_locks.lock().push((name.to_vec(), r.handle));
-                return Ok(DsLock {
-                    ctx: self,
-                    name: name.to_vec(),
-                    handle: r.handle,
-                });
-            }
-            inner.log.abort(r.handle);
             inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
             drop(_drain);
             for c in &conflicts {
@@ -459,18 +471,33 @@ impl DsContext {
     // ------------------------------------------------------------------
     // the shared mutation prologue: Figure 4 steps ① – ⑤ plus CC
 
-    /// Runs the synchronous region for a mutating op: appends the record
-    /// (with write-write conflict detection and abort-retry), executes
-    /// the pool plan in log order, and registers as the object's writer.
-    /// On return the caller holds the object exclusively (no in-flight
-    /// writers, no readers) and must eventually `commit` + `unregister`.
+    /// Runs the synchronous region for a mutating op: reserves the log
+    /// record (with write-write conflict detection and abort-retry),
+    /// executes the pool plan in log order, and registers as the
+    /// object's writer. On return the caller holds the object
+    /// exclusively (no in-flight writers, no readers) and must
+    /// eventually `commit` + `unregister`.
+    ///
+    /// With `parallel_persistence` (the default) only the *decisions*
+    /// are serialized: the op holds the lock of the block-pool shard
+    /// that owns `name` across encode + log reservation + allocation, so
+    /// per-shard pool order equals per-shard LSN order, and the record
+    /// body is written and flushed *after* every lock drops — appenders
+    /// persist concurrently. A shard that cannot satisfy the allocation
+    /// alone makes the op retry holding every shard lock
+    /// ([`DsError::ShardStarved`] → steal, totally ordered against all
+    /// concurrent planners). With `parallel_persistence = false` the
+    /// whole region — including the record flush — runs under the single
+    /// `pool_lock`, reproducing the serialized baseline.
     ///
     /// Trace attribution (`at` is a no-op unless the op is armed):
     /// lock/drain acquisition, conflict spins, reader drains, and CoW
-    /// assists land in `cc_wait`; the pool-locked append in
-    /// `log_append`; the pool plan in `alloc`; blocking log-full
-    /// checkpoints in `log_stall`. The uninstrumented path performs zero
-    /// clock reads here.
+    /// assists land in `cc_wait`; the serialized portion (lock wait +
+    /// reservation, plus the in-lock flush on the serialized baseline)
+    /// in `log_append`; the out-of-lock record flush in `log_flush`;
+    /// the pool plan in `alloc`; blocking log-full checkpoints in
+    /// `log_stall`. The uninstrumented path performs zero clock reads
+    /// here.
     fn mutate_plan<P>(
         &self,
         name: &[u8],
@@ -478,11 +505,23 @@ impl DsContext {
             &crate::structures::Domain<'_, dstore_arena::DramMemory>,
             LoggingMode,
         ) -> (u16, Vec<u8>),
-        plan: impl Fn(&crate::structures::Domain<'_, dstore_arena::DramMemory>) -> DsResult<P>,
+        plan: impl Fn(&crate::structures::Domain<'_, dstore_arena::DramMemory>, bool) -> DsResult<P>,
         bd: &mut Option<&mut WriteBreakdown>,
         at: &mut ActiveTrace,
     ) -> DsResult<(dstore_dipper::RecordHandle, u64, P)> {
+        enum Outcome<'l, P> {
+            Full,
+            Conflicts(Vec<dstore_dipper::RecordHandle>),
+            Starved,
+            Failed(DsError),
+            Done(AppendResult, P),
+            Planned(dstore_dipper::Reservation<'l>, Vec<u8>, P),
+        }
         let inner = &self.inner;
+        let parallel = inner.cfg.parallel_persistence;
+        // Sticky within one op: once a shard starves, every retry takes
+        // all shard locks so the (deterministic) steal cannot starve.
+        let mut need_all = false;
         loop {
             let _drain = inner.drain.read();
             let _global = (!inner.cfg.oe).then(|| inner.global_lock.lock());
@@ -494,54 +533,94 @@ impl DsContext {
                 0
             };
             at.mark_at(SEG_CC_WAIT, t_log);
-            type Appended<P> = (
-                AppendResult,
-                Vec<dstore_dipper::RecordHandle>,
-                Option<DsResult<P>>,
-            );
-            let appended: Result<Appended<P>, LogFull> = {
-                // Step ①: lock the pools.
-                let _g = inner.pool_lock.lock();
+            let outcome: Outcome<'_, P> = {
+                // Step ①: lock the pools — the name's shard (parallel),
+                // every shard in index order (steal retry), or the single
+                // pool lock (serialized baseline).
+                let _legacy;
+                let _shard;
+                let mut _all = Vec::new();
+                let allow_steal = if !parallel {
+                    _legacy = Some(inner.pool_lock.lock());
+                    _shard = None;
+                    true
+                } else if need_all {
+                    _legacy = None;
+                    _shard = None;
+                    _all.extend(inner.pool_shard_locks.iter().map(|m| m.lock()));
+                    true
+                } else {
+                    _legacy = None;
+                    let s = inner.domain().shard_of_name(name);
+                    _shard = Some(inner.pool_shard_locks[s].lock());
+                    false
+                };
                 let d = inner.domain();
                 let (op, params) = {
                     let _bt = inner.btree_lock.read();
                     encode(&d, inner.cfg.logging)
                 };
-                // Step ②: allocate and write the log record.
-                match inner.log.try_append(op, name, &params) {
-                    Err(LogFull) => Err(LogFull),
-                    Ok(r) => {
+                // Step ②a: reserve the record slot (short serialized
+                // step: LSN + header + conflict scan).
+                match inner.log.reserve(op, name, params.len()) {
+                    Err(LogFull) => Outcome::Full,
+                    Ok(res) => {
                         at.mark(SEG_LOG_APPEND);
                         // The holder of an olock on this object passes
                         // its own lock record.
-                        let conflicts: Vec<_> = r
-                            .conflicts
+                        let conflicts: Vec<_> = res
+                            .conflicts()
                             .iter()
-                            .filter(|c| !self.is_own_lock(name, **c))
+                            .filter(|c| !self.is_own_lock_res(name, **c, &res))
                             .copied()
                             .collect();
-                        if conflicts.is_empty() {
-                            // Steps ③/④: pool allocations, in log order.
+                        if !conflicts.is_empty() {
+                            res.abort();
+                            Outcome::Conflicts(conflicts)
+                        } else {
+                            // Steps ③/④: pool allocations, in per-shard
+                            // log order.
                             let p = {
                                 let _bt = inner.btree_lock.read();
-                                plan(&d)
+                                plan(&d, allow_steal)
                             };
-                            if p.is_ok() {
-                                // Make the writer visible before leaving
-                                // the synchronous region.
-                                inner.writers.register(name);
+                            match p {
+                                Ok(p) => {
+                                    // Make the writer visible before
+                                    // leaving the synchronous region.
+                                    inner.writers.register(name);
+                                    at.mark(SEG_ALLOC);
+                                    if parallel {
+                                        Outcome::Planned(res, params, p)
+                                    } else {
+                                        // Step ②b under the lock: the
+                                        // serialized baseline flushes
+                                        // before unlocking.
+                                        let r = res.publish(&params);
+                                        at.mark(SEG_LOG_APPEND);
+                                        Outcome::Done(r, p)
+                                    }
+                                }
+                                Err(DsError::ShardStarved) => {
+                                    // Aborted, never published: no replay
+                                    // effects, retry holding every lock.
+                                    res.abort();
+                                    Outcome::Starved
+                                }
+                                Err(e) => {
+                                    // Plan failed (e.g. out of space):
+                                    // the record must not replay.
+                                    res.abort();
+                                    Outcome::Failed(e)
+                                }
                             }
-                            at.mark(SEG_ALLOC);
-                            Ok((r, conflicts, Some(p)))
-                        } else {
-                            Ok((r, conflicts, None))
                         }
                     }
                 }
                 // Step ⑤: unlock (scope end).
             };
-            match appended {
-                Err(LogFull) => {
+            let (r, p) = match outcome {
+                Outcome::Full => {
                     at.mark(SEG_LOG_APPEND);
                     drop(_global);
                     drop(_drain);
@@ -552,53 +631,56 @@ impl DsContext {
                     at.mark(SEG_LOG_STALL);
                     continue;
                 }
-                Ok((r, conflicts, plan_result)) => {
-                    if !conflicts.is_empty() {
-                        // Another in-flight op owns this object: abort our
-                        // record (it must have no replay effects) and spin
-                        // on the conflicting commit flags (§4.4).
-                        inner.log.abort(r.handle);
-                        inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
-                        drop(_global);
-                        drop(_drain);
-                        for c in &conflicts {
-                            inner.log.wait_committed(*c);
-                        }
-                        at.mark(SEG_CC_WAIT);
-                        continue;
-                    }
-                    let p = match plan_result.expect("planned when conflict-free") {
-                        Ok(p) => p,
-                        Err(e) => {
-                            // Plan failed (e.g. out of space): the record
-                            // must not replay.
-                            inner.log.abort(r.handle);
-                            return Err(e);
-                        }
-                    };
-                    if let Some(bd) = bd.as_deref_mut() {
-                        // The synchronous region ≈ log write + flush +
-                        // pool allocation; attribute it to the log-flush
-                        // and metadata columns.
-                        let ns = now_ns().saturating_sub(t_log);
-                        bd.log_flush_ns += ns / 2;
-                        bd.metadata_ns += ns - ns / 2;
-                    }
-                    // Read-write CC: drain current readers (new ones back
-                    // off because we are registered).
-                    inner.readers.wait_for_readers(name);
-                    // CoW checkpoints: wait for / assist the page copy
-                    // before mutating any frontend page. The phase is
-                    // published before `active`, so sampling it here
-                    // catches the checkpoint this op is about to wait on.
-                    if let Some(cow) = &inner.cow {
-                        note_stall_phase(inner, at);
-                        cow.wait_or_assist();
+                Outcome::Conflicts(conflicts) => {
+                    // Another in-flight op owns this object: our record
+                    // was aborted (it must have no replay effects); spin
+                    // on the conflicting commit flags (§4.4).
+                    inner.stats.ww_conflicts.fetch_add(1, Ordering::Relaxed);
+                    drop(_global);
+                    drop(_drain);
+                    for c in &conflicts {
+                        inner.log.wait_committed(*c);
                     }
                     at.mark(SEG_CC_WAIT);
-                    return Ok((r.handle, r.lsn, p));
+                    continue;
                 }
+                Outcome::Starved => {
+                    need_all = true;
+                    continue;
+                }
+                Outcome::Failed(e) => return Err(e),
+                Outcome::Done(r, p) => (r, p),
+                Outcome::Planned(res, params, p) => {
+                    // Step ②b: write + flush the record body outside
+                    // every ordering lock — the parallel persistence
+                    // step. Charged to its own `log_flush` segment so
+                    // `log_append` isolates the serialized portion.
+                    let r = res.publish(&params);
+                    at.mark(SEG_LOG_FLUSH);
+                    (r, p)
+                }
+            };
+            if let Some(bd) = bd.as_deref_mut() {
+                // The synchronous region ≈ log write + flush + pool
+                // allocation; attribute it to the log-flush and metadata
+                // columns.
+                let ns = now_ns().saturating_sub(t_log);
+                bd.log_flush_ns += ns / 2;
+                bd.metadata_ns += ns - ns / 2;
             }
+            // Read-write CC: drain current readers (new ones back off
+            // because we are registered).
+            inner.readers.wait_for_readers(name);
+            // CoW checkpoints: wait for / assist the page copy before
+            // mutating any frontend page. The phase is published before
+            // `active`, so sampling it here catches the checkpoint this
+            // op is about to wait on.
+            if let Some(cow) = &inner.cow {
+                note_stall_phase(inner, at);
+                cow.wait_or_assist();
+            }
+            at.mark(SEG_CC_WAIT);
+            return Ok((r.handle, r.lsn, p));
         }
     }
 
@@ -635,23 +717,28 @@ impl DsContext {
         }
     }
 
-    /// Reads `out.len()` bytes from allocation `blocks`.
-    fn read_blocks(&self, blocks: &[u64], out: &mut [u8]) {
+    /// Reads `size` bytes from allocation `blocks` into a fresh vector.
+    /// The vector is never zero-initialized — bytes land in one reused
+    /// block-sized scratch buffer and are appended from there, so a get
+    /// pays one bounded scratch allocation instead of zeroing (and
+    /// per-block reallocating) the whole value.
+    fn read_blocks_into(&self, blocks: &[u64], size: usize) -> Vec<u8> {
         let ssd = &self.inner.ssd;
         let d = self.inner.domain();
         let bs = d.block_bytes() as usize;
         let page = PAGE_BYTES as usize;
-        for (i, &b) in blocks.iter().enumerate() {
-            let start = i * bs;
-            if start >= out.len() {
+        let mut out = Vec::with_capacity(size);
+        let mut buf = vec![0u8; bs.div_ceil(page) * page];
+        for &b in blocks {
+            if out.len() >= size {
                 break;
             }
-            let n = (out.len() - start).min(bs);
+            let n = (size - out.len()).min(bs);
             let pages = n.div_ceil(page);
-            let mut buf = vec![0u8; pages * page];
-            ssd.read_pages(d.block_first_page(b), &mut buf);
-            out[start..start + n].copy_from_slice(&buf[..n]);
+            ssd.read_pages(d.block_first_page(b), &mut buf[..pages * page]);
+            out.extend_from_slice(&buf[..n]);
         }
+        out
     }
 }
 
@@ -697,8 +784,11 @@ fn prepare_put_record(
             } else {
                 // If the pool cannot satisfy the peek, encode an empty
                 // image: the plan will fail with OutOfSpace and the
-                // record is aborted, never replayed.
-                let peeked = d.pool_peek(need).unwrap_or_default();
+                // record is aborted, never replayed. (Likewise when the
+                // plan starves without steal permission: the peeked ids
+                // die with the aborted record, and the all-locks retry
+                // re-peeks accurately.)
+                let peeked = d.pool_peek_for(key, need).unwrap_or_default();
                 (need as u32, peeked, old.unwrap_or_default())
             };
             (
@@ -802,7 +892,7 @@ impl ObjectHandle<'_> {
                     ExtendParams { offset, len }.encode().to_vec(),
                 )
             },
-            |d| d.plan_extend(&self.name, offset, len),
+            |d, steal| d.plan_extend_in(&self.name, offset, len, steal),
             &mut None,
             &mut at,
         )?;

@@ -30,6 +30,12 @@ pub enum DsError {
     /// Recovery of a sharded store found inconsistent shard metadata
     /// (wrong shard count, mixed router seeds, duplicate shard index).
     ShardMismatch(String),
+    /// Internal retry signal: the block-pool shard owning the object's
+    /// name cannot satisfy the allocation alone, and the caller did not
+    /// permit stealing from sibling shards. The write path retries the
+    /// operation holding every shard lock (which makes stealing
+    /// deterministic); this value never reaches the public API.
+    ShardStarved,
     /// Underlying device error (file-backed pools).
     Io(String),
 }
@@ -48,6 +54,9 @@ impl fmt::Display for DsError {
             DsError::BadMode => write!(f, "object not opened for this access"),
             DsError::ReservedName => write!(f, "object name uses a reserved prefix"),
             DsError::ShardMismatch(e) => write!(f, "shard metadata mismatch: {e}"),
+            DsError::ShardStarved => {
+                write!(f, "block-pool shard starved (internal retry signal)")
+            }
             DsError::Io(e) => write!(f, "io error: {e}"),
         }
     }

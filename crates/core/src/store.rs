@@ -16,6 +16,7 @@ use dstore_index::ReadCounts;
 use dstore_pmem::{PersistenceMode, PmemPool, PoolBuilder};
 use dstore_ssd::SsdDevice;
 use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -89,10 +90,19 @@ pub(crate) struct StoreInner {
     pub log: Arc<OpLog>,
     pub dram: Arc<Arena<DramMemory>>,
     pub dir: RelPtr<Directory>,
-    /// Serializes log append + block-pool interaction (Figure 4 steps
-    /// ①–⑤). Log order and pool order coincide because both happen under
-    /// this lock — the invariant deterministic replay depends on.
+    /// Serialized-baseline lock (`parallel_persistence = false` only):
+    /// log append + flush + block-pool interaction all happen under it,
+    /// reproducing the pre-parallel-persistence write path for A/B
+    /// benchmarks (`fig12_write_scaling`).
     pub pool_lock: Mutex<()>,
+    /// Parallel-persistence locks, one per block-pool shard. An op
+    /// holds its name's shard lock across log reservation + allocation
+    /// (Figure 4 steps ①–⑤ minus the flush), so per-shard pool order
+    /// equals per-shard LSN order — the invariant deterministic replay
+    /// depends on. A starved op escalates to *all* shard locks in index
+    /// order before stealing, which totally orders it against every
+    /// concurrent planner.
+    pub pool_shard_locks: Box<[Mutex<()>]>,
     /// Protects the object-index B-tree (step ⑦ and lookups).
     pub btree_lock: RwLock<()>,
     /// Full-operation serialization for `oe = false` (Figure 9 "-OE").
@@ -238,12 +248,14 @@ impl DStore {
         ));
         let mut log = OpLog::create(Arc::clone(&pool), layout);
         log.set_stall_timeout(cfg.stall_timeout);
+        log.set_commit_combining(cfg.parallel_persistence);
         let log = Arc::new(log);
 
         // System space: format the DRAM domain, then seed shadow region 0
         // with an identical image so the first checkpoint has a base.
         let dram = Arc::new(Arena::create(DramMemory::new(layout.shadow_size)));
-        let domain = Domain::format_with_geometry(&dram, cfg.ssd_pages, cfg.pages_per_block);
+        let domain =
+            Domain::format_with_shards(&dram, cfg.ssd_pages, cfg.pages_per_block, cfg.pool_shards);
         let dir = domain.dir_ptr();
         let shadow0 = Arena::create(PmemRange::new(
             Arc::clone(&pool),
@@ -288,6 +300,10 @@ impl DStore {
     ) -> Arc<StoreInner> {
         let drain = Arc::new(RwLock::new(()));
         let stall_timeout = cfg.stall_timeout;
+        // The domain clamps the shard count at format time (tiny pools get
+        // fewer shards than configured), so read the on-media value back.
+        let nshards = Domain::attach(&dram, dir).pool_shards().max(1);
+        let pool_shard_locks: Box<[Mutex<()>]> = (0..nshards).map(|_| Mutex::new(())).collect();
         let (ckpt, cow) = match cfg.checkpoint {
             CheckpointMode::Dipper => {
                 let applier = make_applier(&pool, layout, dir);
@@ -328,6 +344,7 @@ impl DStore {
             dram,
             dir,
             pool_lock: Mutex::new(()),
+            pool_shard_locks,
             btree_lock: RwLock::new(()),
             global_lock: Mutex::new(()),
             readers: ReadCounts::with_stall_timeout(stall_timeout),
@@ -509,6 +526,18 @@ impl DStore {
         snap.push_counter("dstore_ww_conflicts_total", vec![], s.ww_conflicts);
         snap.push_counter("dstore_rw_backoffs_total", vec![], s.rw_backoffs);
         snap.push_counter("dstore_log_full_stalls_total", vec![], s.log_full_stalls);
+        // Commit-flush combining (parallel persistence write path).
+        let l = self.inner.log.stats();
+        snap.push_counter(
+            "dstore_log_commit_batches_total",
+            vec![],
+            l.commit_batches.load(Ordering::Relaxed),
+        );
+        snap.push_counter(
+            "dstore_log_commits_combined_total",
+            vec![],
+            l.commits_combined.load(Ordering::Relaxed),
+        );
         snap.push_counter(
             "dstore_checkpoints_completed_total",
             vec![],
@@ -775,6 +804,7 @@ impl DStore {
         // Step 4: resume — volatile log state, fresh CC state.
         let mut log = plan.finish(Arc::clone(&pool), layout);
         log.set_stall_timeout(cfg.stall_timeout);
+        log.set_commit_combining(cfg.parallel_persistence);
         let log = Arc::new(log);
         Ok(Self {
             inner: Self::assemble(

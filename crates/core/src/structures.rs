@@ -31,7 +31,11 @@ use crate::ops::{self, ExtendParams, PhysImage, PutParams};
 use dstore_arena::{Arena, ArenaPod, Memory, RelPtr};
 use dstore_dipper::record::OwnedRecord;
 use dstore_dipper::OP_NOOP;
-use dstore_index::{BTreeHandle, BTreeHeader};
+use dstore_index::{fnv1a, BTreeHandle, BTreeHeader};
+
+/// Upper bound on block-pool shards (a `Directory` sanity limit; the
+/// config validates the same range).
+pub const MAX_POOL_SHARDS: usize = 64;
 
 /// Maximum object-name length (fits a log record comfortably).
 pub const MAX_NAME_LEN: usize = 255;
@@ -54,7 +58,9 @@ pub const OVERFLOW_CAP: usize = 126;
 pub struct Directory {
     /// Object-index B-tree header.
     pub btree: RelPtr<BTreeHeader>,
-    /// SSD block pool (free allocation blocks).
+    /// SSD block pool: the first of `pool_shards` contiguous
+    /// [`PoolHeader`]s (free allocation blocks, sharded by object-name
+    /// hash so non-conflicting writers allocate without contending).
     pub block_pool: RelPtr<PoolHeader>,
     /// Live object count.
     pub live_objects: u64,
@@ -64,6 +70,10 @@ pub struct Directory {
     /// reads it from the copied directory, keeping replay deterministic
     /// without re-reading configuration).
     pub pages_per_block: u64,
+    /// Number of block-pool shards behind `block_pool` (store geometry,
+    /// persisted for the same reason as `pages_per_block`; `0` from a
+    /// pre-sharding image means one shard).
+    pub pool_shards: u64,
 }
 // SAFETY: repr(C) composition of pods; zero-valid.
 unsafe impl ArenaPod for Directory {}
@@ -195,31 +205,59 @@ impl<'a, M: Memory> Domain<'a, M> {
     /// [`Domain::format`] with `pages_per_block` pages per allocation
     /// block. Block `b` owns pages `[1 + b·ppb, 1 + (b+1)·ppb)`.
     pub fn format_with_geometry(arena: &'a Arena<M>, ssd_pages: u64, pages_per_block: u64) -> Self {
+        Self::format_with_shards(arena, ssd_pages, pages_per_block, 1)
+    }
+
+    /// [`Domain::format_with_geometry`] with the block pool split into
+    /// `shards` FIFO rings. Object names hash to a *home* shard
+    /// ([`Domain::shard_of_name`]); the frontend serializes pool
+    /// interactions per shard instead of globally, so allocations from
+    /// writers on different shards run concurrently. Each ring has full
+    /// capacity (freed blocks follow the freeing *name*, so any shard
+    /// may in principle come to hold every block). The initial fill
+    /// stripes contiguous ascending id ranges across shards, preserving
+    /// the sequential-allocation SSD write pattern within a shard.
+    ///
+    /// `shards` is clamped to `[1, min(MAX_POOL_SHARDS, capacity)]` and
+    /// recorded in the [`Directory`], making replay and recovery
+    /// self-describing.
+    pub fn format_with_shards(
+        arena: &'a Arena<M>,
+        ssd_pages: u64,
+        pages_per_block: u64,
+        shards: usize,
+    ) -> Self {
         assert!(pages_per_block >= 1, "blocks hold at least one page");
         assert!(ssd_pages > pages_per_block, "SSD too small");
         let dir: RelPtr<Directory> = arena.alloc();
         let btree = BTreeHandle::create(arena);
         let capacity = (ssd_pages - 1) / pages_per_block;
-        let items = RelPtr::<u64>::from_offset(arena.alloc_block((capacity * 8) as usize));
-        // SAFETY: fresh allocation of capacity u64s.
-        unsafe {
-            let base = arena.resolve(items);
-            for i in 0..capacity {
-                *base.add(i as usize) = i; // block ids 0..capacity
-            }
-        }
-        let pool: RelPtr<PoolHeader> = arena.alloc();
+        let nshards = shards.clamp(1, MAX_POOL_SHARDS).min(capacity as usize) as u64;
+        let span = capacity.div_ceil(nshards);
+        let pool = RelPtr::<PoolHeader>::from_offset(
+            arena.alloc_block(nshards as usize * std::mem::size_of::<PoolHeader>()),
+        );
         // SAFETY: fresh allocations, exclusive.
         unsafe {
-            let p = &mut *arena.resolve(pool);
-            p.capacity = capacity;
-            p.head = 0;
-            p.count = capacity;
-            p.items = items;
+            for s in 0..nshards {
+                let items = RelPtr::<u64>::from_offset(arena.alloc_block((capacity * 8) as usize));
+                let lo = s * span;
+                let hi = ((s + 1) * span).min(capacity);
+                let base = arena.resolve(items);
+                for (i, id) in (lo..hi).enumerate() {
+                    *base.add(i) = id;
+                }
+                let p = &mut *arena.resolve(pool).add(s as usize);
+                p.capacity = capacity;
+                p.head = 0;
+                p.count = hi.saturating_sub(lo);
+                p.items = items;
+            }
             let d = &mut *arena.resolve(dir);
             d.btree = btree.header_ptr();
             d.block_pool = pool;
             d.pages_per_block = pages_per_block;
+            d.pool_shards = nshards;
         }
         Self { arena, dir }
     }
@@ -274,14 +312,38 @@ impl<'a, M: Memory> Domain<'a, M> {
     // ------------------------------------------------------------------
     // block pool
 
-    /// Pops one free block. Caller holds the pool lock (frontend) or is
-    /// the single replay thread.
-    pub fn pool_pop(&self) -> Option<u64> {
-        // SAFETY: pool structures live; caller synchronizes.
+    /// Number of block-pool shards (`0` in the directory means one).
+    pub fn pool_shards(&self) -> usize {
+        // SAFETY: directory live.
+        unsafe { ((*self.arena.resolve(self.dir)).pool_shards).max(1) as usize }
+    }
+
+    /// The shard that owns `name`'s pool interactions. Every pop *and*
+    /// push a record performs lands in its name's shard, so per-shard
+    /// plan order equals per-shard log order — the invariant replay
+    /// relies on ([`Domain::replay`] re-derives the same shard from the
+    /// record's name).
+    pub fn shard_of_name(&self, name: &[u8]) -> usize {
+        (fnv1a(name) % self.pool_shards() as u64) as usize
+    }
+
+    /// Raw pointer to shard `s`'s header.
+    ///
+    /// # Safety
+    ///
+    /// `s < pool_shards()`; pool structures live; caller synchronizes.
+    unsafe fn shard_ptr(&self, s: usize) -> *mut PoolHeader {
+        debug_assert!(s < self.pool_shards());
+        self.arena
+            .resolve((*self.arena.resolve(self.dir)).block_pool)
+            .add(s)
+    }
+
+    /// Pops one free block from shard `s`.
+    fn shard_pop(&self, s: usize) -> Option<u64> {
+        // SAFETY: pool structures live; caller synchronizes the shard.
         unsafe {
-            let p = &mut *self
-                .arena
-                .resolve((*self.arena.resolve(self.dir)).block_pool);
+            let p = &mut *self.shard_ptr(s);
             if p.count == 0 {
                 return None;
             }
@@ -293,13 +355,11 @@ impl<'a, M: Memory> Domain<'a, M> {
         }
     }
 
-    /// Pushes a freed block to the FIFO tail.
-    pub fn pool_push(&self, id: u64) {
-        // SAFETY: as in pool_pop.
+    /// Pushes a freed block to shard `s`'s FIFO tail.
+    fn shard_push(&self, s: usize, id: u64) {
+        // SAFETY: as in shard_pop.
         unsafe {
-            let p = &mut *self
-                .arena
-                .resolve((*self.arena.resolve(self.dir)).block_pool);
+            let p = &mut *self.shard_ptr(s);
             assert!(p.count < p.capacity, "pool overflow: double free?");
             let base = self.arena.resolve(p.items);
             *base.add(((p.head + p.count) % p.capacity) as usize) = id;
@@ -307,38 +367,97 @@ impl<'a, M: Memory> Domain<'a, M> {
         }
     }
 
-    /// Reads the next `n` blocks the pool would pop, without popping.
-    /// Used by physical-mode logging to encode the post-image before the
-    /// record is appended (the actual pops happen only if the append wins
-    /// its conflict check, and return exactly these ids — all under the
-    /// pool lock).
-    pub fn pool_peek(&self, n: u64) -> Option<Vec<u64>> {
-        // SAFETY: read-only under the caller's pool lock.
-        unsafe {
-            let p = &*self
-                .arena
-                .resolve((*self.arena.resolve(self.dir)).block_pool);
-            if p.count < n {
-                return None;
-            }
-            let base = self.arena.resolve(p.items);
-            Some(
-                (0..n)
-                    .map(|i| *base.add(((p.head + i) % p.capacity) as usize))
-                    .collect(),
-            )
-        }
+    /// Pops one free block, scanning shards in index order. Caller holds
+    /// every shard lock (frontend) or is the single replay thread.
+    pub fn pool_pop(&self) -> Option<u64> {
+        (0..self.pool_shards()).find_map(|s| self.shard_pop(s))
     }
 
-    /// Free blocks remaining.
-    pub fn pool_free(&self) -> u64 {
-        // SAFETY: read-only.
-        unsafe {
-            (*self
-                .arena
-                .resolve((*self.arena.resolve(self.dir)).block_pool))
-            .count
+    /// Pushes a freed block to the first shard's FIFO tail. Kept for
+    /// single-shard callers (tests, tools); the write path and replay
+    /// use the name-directed pushes inside the plan functions.
+    pub fn pool_push(&self, id: u64) {
+        self.shard_push(0, id);
+    }
+
+    /// Pops `n` blocks for an operation on `name`: from the name's own
+    /// shard when it suffices, otherwise — with `allow_steal` — the
+    /// remainder is stolen from sibling shards in round-robin index
+    /// order starting after the own shard. Deterministic given the pool
+    /// state, which is what lets replay reproduce frontend allocations.
+    ///
+    /// Without `allow_steal`, an own-shard shortfall returns
+    /// [`DsError::ShardStarved`] (and pops nothing) so the caller can
+    /// retry holding every shard lock; a *global* shortfall is
+    /// [`DsError::OutOfSpace`]. Partial pops never leak.
+    pub fn pop_n_in(&self, name: &[u8], n: u64, allow_steal: bool) -> DsResult<Vec<u64>> {
+        if n == 0 {
+            return Ok(vec![]);
         }
+        let own = self.shard_of_name(name);
+        if self.pool_free_in(own) < n {
+            if !allow_steal {
+                return Err(DsError::ShardStarved);
+            }
+            if self.pool_free() < n {
+                return Err(DsError::OutOfSpace);
+            }
+        }
+        let ns = self.pool_shards();
+        let mut out = Vec::with_capacity(n as usize);
+        let mut s = own;
+        while (out.len() as u64) < n {
+            match self.shard_pop(s) {
+                Some(b) => out.push(b),
+                None => s = (s + 1) % ns,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads the next `n` blocks [`Domain::pop_n_in`] would pop for
+    /// `name` (steal permitted), without popping. Used by physical-mode
+    /// logging to encode the post-image before the record is appended
+    /// (the actual pops happen only if the append wins its conflict
+    /// check, and return exactly these ids — all under the shard locks).
+    pub fn pool_peek_for(&self, name: &[u8], n: u64) -> Option<Vec<u64>> {
+        if self.pool_free() < n {
+            return None;
+        }
+        let ns = self.pool_shards();
+        let own = self.shard_of_name(name);
+        let mut out = Vec::with_capacity(n as usize);
+        // One pass per shard mirrors `pop_n_in` exactly when the caller
+        // holds the relevant locks (counts are stable, so the pop never
+        // revisits a drained shard). Bounding the scan also keeps a peek
+        // that races unlocked siblings from spinning.
+        for i in 0..ns {
+            let s = (own + i) % ns;
+            // SAFETY: read-only under the caller's shard locks.
+            unsafe {
+                let p = &*self.shard_ptr(s);
+                let take = (n - out.len() as u64).min(p.count);
+                let base = self.arena.resolve(p.items);
+                for k in 0..take {
+                    out.push(*base.add(((p.head + k) % p.capacity) as usize));
+                }
+            }
+            if (out.len() as u64) == n {
+                break;
+            }
+        }
+        ((out.len() as u64) == n).then_some(out)
+    }
+
+    /// Free blocks remaining in shard `s`.
+    pub fn pool_free_in(&self, s: usize) -> u64 {
+        // SAFETY: read-only.
+        unsafe { (*self.shard_ptr(s)).count }
+    }
+
+    /// Free blocks remaining across all shards.
+    pub fn pool_free(&self) -> u64 {
+        (0..self.pool_shards()).map(|s| self.pool_free_in(s)).sum()
     }
 
     // ------------------------------------------------------------------
@@ -420,8 +539,17 @@ impl<'a, M: Memory> Domain<'a, M> {
     // plan phase (pool interactions; log order)
 
     /// Plans an [`ops::OP_PUT`]-family operation: classifies it and
-    /// performs the pool pops/pushes. Must run in log-append order.
+    /// performs the pool pops/pushes. Must run in per-shard log-append
+    /// order; steal permitted (replay, single-shard callers).
     pub fn plan_put(&self, name: &[u8], size: u64) -> DsResult<PutPlan> {
+        self.plan_put_in(name, size, true)
+    }
+
+    /// [`Domain::plan_put`] with explicit steal permission — the
+    /// frontend's fast path passes `false` while holding only the name's
+    /// shard lock, escalating to all locks + `true` on
+    /// [`DsError::ShardStarved`].
+    pub fn plan_put_in(&self, name: &[u8], size: u64, allow_steal: bool) -> DsResult<PutPlan> {
         let need = blocks_for_geometry(size, self.block_bytes());
         match self.lookup(name) {
             Some(e) => {
@@ -434,9 +562,10 @@ impl<'a, M: Memory> Domain<'a, M> {
                         freed: vec![],
                     });
                 }
-                let blocks = self.pop_n(need)?;
+                let blocks = self.pop_n_in(name, need, allow_steal)?;
+                let home = self.shard_of_name(name);
                 for &b in &old_blocks {
-                    self.pool_push(b);
+                    self.shard_push(home, b);
                 }
                 Ok(PutPlan {
                     kind: PutKind::Replace,
@@ -446,38 +575,44 @@ impl<'a, M: Memory> Domain<'a, M> {
             }
             None => Ok(PutPlan {
                 kind: PutKind::Create,
-                blocks: self.pop_n(need)?,
+                blocks: self.pop_n_in(name, need, allow_steal)?,
                 freed: vec![],
             }),
         }
     }
 
-    fn pop_n(&self, n: u64) -> DsResult<Vec<u64>> {
-        if self.pool_free() < n {
-            return Err(DsError::OutOfSpace);
-        }
-        Ok((0..n)
-            .map(|_| self.pool_pop().expect("count checked"))
-            .collect())
+    /// Plans an [`ops::OP_EXTEND`]: pops the additional blocks. Steal
+    /// permitted (replay, single-shard callers).
+    pub fn plan_extend(&self, name: &[u8], offset: u64, len: u64) -> DsResult<ExtendPlan> {
+        self.plan_extend_in(name, offset, len, true)
     }
 
-    /// Plans an [`ops::OP_EXTEND`]: pops the additional blocks.
-    pub fn plan_extend(&self, name: &[u8], offset: u64, len: u64) -> DsResult<ExtendPlan> {
+    /// [`Domain::plan_extend`] with explicit steal permission.
+    pub fn plan_extend_in(
+        &self,
+        name: &[u8],
+        offset: u64,
+        len: u64,
+        allow_steal: bool,
+    ) -> DsResult<ExtendPlan> {
         let e = self.lookup(name).ok_or(DsError::NotFound)?;
         let (size, _, mut blocks) = self.read_entry(e);
         let new_size = size.max(offset + len);
         let need = blocks_for_geometry(new_size, self.block_bytes());
         let extra = need.saturating_sub(blocks.len() as u64);
-        blocks.extend(self.pop_n(extra)?);
+        blocks.extend(self.pop_n_in(name, extra, allow_steal)?);
         Ok(ExtendPlan { blocks, new_size })
     }
 
-    /// Plans an [`ops::OP_DELETE`]: pushes the object's blocks back.
+    /// Plans an [`ops::OP_DELETE`]: pushes the object's blocks back to
+    /// the name's shard (pushes always land in the freeing name's shard,
+    /// so an op touches no shard but its own unless it steals).
     pub fn plan_delete(&self, name: &[u8]) -> DsResult<DeletePlan> {
         let e = self.lookup(name).ok_or(DsError::NotFound)?;
         let (_, _, blocks) = self.read_entry(e);
+        let home = self.shard_of_name(name);
         for &b in &blocks {
-            self.pool_push(b);
+            self.shard_push(home, b);
         }
         Ok(DeletePlan { freed: blocks })
     }
@@ -583,11 +718,18 @@ impl<'a, M: Memory> Domain<'a, M> {
             }
             ops::OP_PHYS_INSTALL => {
                 let img = PhysImage::decode(&rec.params).expect("valid phys image");
-                for _ in 0..img.pops {
-                    self.pool_pop().expect("phys replay pool pop");
+                let popped = self
+                    .pop_n_in(&rec.name, img.pops as u64, true)
+                    .expect("phys replay pool pop");
+                if img.pops > 0 {
+                    debug_assert_eq!(
+                        popped, img.blocks,
+                        "physical replay diverged from the encoded post-image"
+                    );
                 }
+                let home = self.shard_of_name(&rec.name);
                 for &b in &img.pushes {
-                    self.pool_push(b);
+                    self.shard_push(home, b);
                 }
                 let plan = PutPlan {
                     kind: if self.lookup(&rec.name).is_some() {
@@ -606,8 +748,9 @@ impl<'a, M: Memory> Domain<'a, M> {
             }
             ops::OP_PHYS_DELETE => {
                 let img = PhysImage::decode(&rec.params).expect("valid phys image");
+                let home = self.shard_of_name(&rec.name);
                 for &b in &img.pushes {
-                    self.pool_push(b);
+                    self.shard_push(home, b);
                 }
                 self.install_delete(&rec.name);
             }
@@ -916,6 +1059,143 @@ mod tests {
             let se = shadow.read_entry(shadow.lookup(name.as_bytes()).unwrap());
             assert_eq!(fe.0, se.0);
             assert_eq!(fe.2, se.2);
+        }
+    }
+
+    #[test]
+    fn sharded_format_stripes_and_tracks_shards() {
+        let a = arena();
+        let d = Domain::format_with_shards(&a, 1025, 1, 4); // 1024 blocks
+        assert_eq!(d.pool_shards(), 4);
+        assert_eq!(d.pool_free(), 1024);
+        // Contiguous ascending stripes of 256 blocks per shard.
+        for s in 0..4 {
+            assert_eq!(d.pool_free_in(s), 256);
+        }
+        assert_eq!(d.shard_pop(0), Some(0));
+        assert_eq!(d.shard_pop(1), Some(256));
+        assert_eq!(d.shard_pop(3), Some(768));
+        // Global pop scans shards in index order.
+        assert_eq!(d.pool_pop(), Some(1));
+        // Shard count excess is clamped to the block count.
+        let a2 = arena();
+        let tiny = Domain::format_with_shards(&a2, 4, 1, 8); // 3 blocks
+        assert_eq!(tiny.pool_shards(), 3);
+        assert_eq!(tiny.pool_free(), 3);
+    }
+
+    #[test]
+    fn name_pops_and_pushes_stay_in_home_shard() {
+        let a = arena();
+        let d = Domain::format_with_shards(&a, 1025, 1, 4);
+        let name = b"some-object";
+        let own = d.shard_of_name(name);
+        let other_free: u64 = (0..4)
+            .filter(|&s| s != own)
+            .map(|s| d.pool_free_in(s))
+            .sum();
+        let p = d.plan_put_in(name, 3 * 4096, false).unwrap();
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(d.pool_free_in(own), 256 - 3);
+        d.install_put(name, 3 * 4096, &p, 1);
+        // Replace frees the old blocks into the same shard.
+        let p2 = d.plan_put_in(name, 4096, false).unwrap();
+        d.install_put(name, 4096, &p2, 2);
+        assert_eq!(d.pool_free_in(own), 256 - 1);
+        let now_other: u64 = (0..4)
+            .filter(|&s| s != own)
+            .map(|s| d.pool_free_in(s))
+            .sum();
+        assert_eq!(other_free, now_other, "sibling shards untouched");
+    }
+
+    #[test]
+    fn starved_shard_reports_and_steals_deterministically() {
+        let a = arena();
+        let d = Domain::format_with_shards(&a, 9, 1, 2); // 8 blocks: 4 + 4
+        let name = b"n";
+        let own = d.shard_of_name(name);
+        // Drain the own shard.
+        let drained = d.pop_n_in(name, 4, false).unwrap();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(d.pool_free_in(own), 0);
+        // Starved without steal; nothing popped.
+        assert_eq!(d.pop_n_in(name, 2, false), Err(DsError::ShardStarved));
+        assert_eq!(d.pool_free(), 4);
+        // Peek predicts exactly what the stealing pop takes.
+        let peeked = d.pool_peek_for(name, 2).unwrap();
+        let stolen = d.pop_n_in(name, 2, true).unwrap();
+        assert_eq!(peeked, stolen);
+        assert_eq!(d.pool_free(), 2);
+        // Global exhaustion is OutOfSpace, and partial pops never leak.
+        assert_eq!(d.pop_n_in(name, 3, true), Err(DsError::OutOfSpace));
+        assert_eq!(d.pool_free(), 2);
+    }
+
+    #[test]
+    fn sharded_replay_reproduces_frontend_state() {
+        use dstore_dipper::record::OwnedRecord;
+        // Mixed history over a 4-shard pool, including cross-shard
+        // steals, replayed on a fresh 4-shard domain.
+        let a1 = arena();
+        let front = Domain::format_with_shards(&a1, 257, 1, 4); // 256 blocks
+        let mut records: Vec<OwnedRecord> = vec![];
+        let mut lsn = 0u64;
+        for i in 0..60u64 {
+            lsn += 1;
+            let name = format!("obj{}", i % 9);
+            // Large enough that some shards starve and steal.
+            let size = (i % 4 + 1) * 20 * 4096;
+            let rec = OwnedRecord {
+                lsn,
+                op: ops::OP_PUT,
+                commit: dstore_dipper::COMMIT_COMMITTED,
+                name: name.clone().into_bytes(),
+                params: PutParams { size }.encode().to_vec(),
+                off: 0,
+            };
+            // Steal-permitted, like the frontend's escalated path.
+            match front.plan_put(&rec.name, size) {
+                Ok(plan) => {
+                    front.install_put(&rec.name, size, &plan, rec.lsn);
+                    records.push(rec);
+                }
+                Err(DsError::OutOfSpace) => {
+                    lsn -= 1;
+                    let del = OwnedRecord {
+                        lsn: lsn + 1,
+                        op: ops::OP_DELETE,
+                        commit: dstore_dipper::COMMIT_COMMITTED,
+                        name: name.into_bytes(),
+                        params: vec![],
+                        off: 0,
+                    };
+                    if front.plan_delete(&del.name).is_ok() {
+                        lsn += 1;
+                        front.install_delete(&del.name);
+                        records.push(del);
+                    }
+                }
+                Err(e) => panic!("unexpected plan error {e}"),
+            }
+        }
+        let a2 = arena();
+        let shadow = Domain::format_with_shards(&a2, 257, 1, 4);
+        for rec in &records {
+            shadow.replay(rec);
+        }
+        assert_eq!(front.counters(), shadow.counters());
+        assert_eq!(front.pool_free(), shadow.pool_free());
+        for s in 0..4 {
+            assert_eq!(front.pool_free_in(s), shadow.pool_free_in(s));
+        }
+        // Per-shard pool contents in FIFO order must match exactly.
+        loop {
+            let (f, s) = (front.pool_pop(), shadow.pool_pop());
+            assert_eq!(f, s);
+            if f.is_none() {
+                break;
+            }
         }
     }
 

@@ -20,17 +20,27 @@
 //! # Validity & walkability
 //!
 //! Reservations assign LSNs and tail space under one short lock and
-//! persist the record's 8-byte `lsn|len` word before releasing it, so a
-//! log is always a walkable sequence: records start at the buffer head,
-//! each one's length is trustworthy, and the walk ends at the first word
-//! whose LSN breaks the expected sequence (stale bytes from a previous
+//! *store* the record's header before releasing it, so the in-memory log
+//! is always a walkable sequence: records start at the buffer head, each
+//! one's length is trustworthy, and the walk ends at the first word whose
+//! LSN breaks the expected sequence (stale bytes from a previous
 //! incarnation always have `lsn < min_lsn`, which is persisted in the log
 //! header at recycle time).
+//!
+//! Header *durability* is deferred out of the reservation critical
+//! section entirely — the short lock does no flush and no fence. The
+//! durable image stays walkable up to every committed record because a
+//! commit flag only becomes durable behind a fence that first flushed the
+//! **header gap**: all headers between the durable-header frontier and
+//! the reserved tail (amortized — usually empty, since each publish's own
+//! record flush advances the frontier when publishes complete in
+//! reservation order). Recovery therefore always chains past crashed
+//! reservations to reach every committed record.
 
 use crate::layout::PmemLayout;
 use crate::record::{self, OwnedRecord, COMMIT_COMMITTED, COMMIT_PENDING};
-use dstore_pmem::PmemPool;
-use parking_lot::{Mutex, RwLock};
+use dstore_pmem::{Backoff, PmemPool};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -84,6 +94,28 @@ pub struct LogStats {
     pub relocated: AtomicU64,
     /// Conflict handles returned by appends.
     pub conflicts_detected: AtomicU64,
+    /// Commits persisted through the flush combiner.
+    pub commits_combined: AtomicU64,
+    /// Combiner batches drained (one fence each);
+    /// `commits_combined / commit_batches` is the mean fan-in.
+    pub commit_batches: AtomicU64,
+}
+
+/// The flush combiner's shared state (§4.4's "group persistence" of
+/// commit flags): committers write their flag, enqueue its offset, and
+/// one elected thread drains the queue behind a single flush+fence.
+#[derive(Default)]
+struct CommitCombiner {
+    /// Record offsets whose commit flags are written but not yet
+    /// persisted. Pushing and taking a ticket happen under this lock,
+    /// so tickets are dense in queue order.
+    queue: Mutex<Vec<usize>>,
+    /// Tickets handed out (== flags ever enqueued).
+    tickets: AtomicU64,
+    /// Tickets whose flags have been persisted.
+    served: AtomicU64,
+    /// Combiner election: whoever `try_lock`s this drains the queue.
+    drain: Mutex<()>,
 }
 
 /// The double-buffered PMEM operation log.
@@ -103,10 +135,26 @@ pub struct OpLog {
     /// Per-buffer "first possibly-uncommitted record" scan hints (pool
     /// offsets; purely an optimization).
     hints: [AtomicUsize; 2],
+    /// End of the written (DRAM-visible) header prefix of the active
+    /// buffer — advanced under the reserve lock by every reservation.
+    hdr_written: AtomicUsize,
+    /// End of the *durable* header prefix of the active buffer: every
+    /// record header below it is flushed. Advanced by reservation-order
+    /// publishes (CAS fast path) and by the commit-fence header-gap
+    /// flush; reset by swap. Invariant: no commit flag becomes durable
+    /// before the headers below the reserved tail do, so the recovery
+    /// walk can always chain past crashed reservations to a committed
+    /// record.
+    hdr_durable: AtomicUsize,
     stats: LogStats,
     /// Deadlock-detector budget for [`OpLog::wait_committed`]. Written
     /// only by [`OpLog::set_stall_timeout`] before the log is shared.
     stall_timeout: std::time::Duration,
+    /// When set, [`OpLog::commit`] persists flags through the combiner;
+    /// otherwise each commit issues its own flush+fence. Written only by
+    /// [`OpLog::set_commit_combining`] before the log is shared.
+    combine_commits: bool,
+    combiner: CommitCombiner,
 }
 
 impl OpLog {
@@ -121,6 +169,8 @@ impl OpLog {
             AtomicUsize::new(layout.log_records(1)),
         ];
         Self {
+            hdr_written: AtomicUsize::new(layout.log_records(0)),
+            hdr_durable: AtomicUsize::new(layout.log_records(0)),
             reserve: Mutex::new(ReserveState {
                 active: 0,
                 tail: layout.log_records(0),
@@ -132,6 +182,8 @@ impl OpLog {
             hints,
             stats: LogStats::default(),
             stall_timeout: std::time::Duration::from_secs(30),
+            combine_commits: false,
+            combiner: CommitCombiner::default(),
             pool,
             layout,
         }
@@ -152,6 +204,10 @@ impl OpLog {
             AtomicUsize::new(layout.log_records(1)),
         ];
         Self {
+            // Everything recovered from the durable image is, by
+            // definition, durable.
+            hdr_written: AtomicUsize::new(tail),
+            hdr_durable: AtomicUsize::new(tail),
             reserve: Mutex::new(ReserveState {
                 active,
                 tail,
@@ -163,6 +219,8 @@ impl OpLog {
             hints,
             stats: LogStats::default(),
             stall_timeout: std::time::Duration::from_secs(30),
+            combine_commits: false,
+            combiner: CommitCombiner::default(),
             pool,
             layout,
         }
@@ -172,6 +230,12 @@ impl OpLog {
     /// Call before the log is shared across threads (it takes `&mut`).
     pub fn set_stall_timeout(&mut self, stall_timeout: std::time::Duration) {
         self.stall_timeout = stall_timeout;
+    }
+
+    /// Enables/disables commit-flag flush combining. Call before the log
+    /// is shared across threads (it takes `&mut`).
+    pub fn set_commit_combining(&mut self, on: bool) {
+        self.combine_commits = on;
     }
 
     /// The pool this log lives in.
@@ -195,21 +259,28 @@ impl OpLog {
         self.layout.log_records(i) + self.layout.log_size
     }
 
-    /// Appends a record for `op` on `name`, returning its handle and the
-    /// in-flight conflicts to wait on, or [`LogFull`] when a swap is
-    /// required first.
+    /// Reserves a record slot for `op` on `name` — the short serialized
+    /// step of an append (the paper's step ①): LSN + tail bump + header
+    /// stamp under the reserve lock, plus the conflict scan. Returns a
+    /// [`Reservation`] whose [`Reservation::publish`] writes and flushes
+    /// the body *outside* any append-ordering lock, concurrently with
+    /// other appenders, or [`LogFull`] when a swap is required first.
     ///
-    /// On return the record is fully written and flushed (the paper's
-    /// step ②); it becomes *committed* — and hence replayable — only via
-    /// [`OpLog::commit`] (step ⑨).
-    pub fn try_append(&self, op: u16, name: &[u8], params: &[u8]) -> Result<AppendResult, LogFull> {
-        let total_len = record::encoded_len(name.len(), params.len());
+    /// The reservation pins the swap lock (shared), so the record cannot
+    /// be relocated while its body is still being written.
+    pub fn reserve(
+        &self,
+        op: u16,
+        name: &[u8],
+        params_len: usize,
+    ) -> Result<Reservation<'_>, LogFull> {
+        let total_len = record::encoded_len(name.len(), params_len);
         assert!(
             total_len <= record::MAX_RECORD_LEN && total_len <= self.layout.log_size,
             "record too large: {total_len}"
         );
-        let _g = self.swap_lock.read();
-        let (off, lsn, conflicts, active) = {
+        let guard = self.swap_lock.read();
+        let (off, lsn, active) = {
             let mut st = self.reserve.lock();
             if st.tail + total_len > self.buf_end(st.active) {
                 return Err(LogFull);
@@ -218,36 +289,57 @@ impl OpLog {
             let lsn = st.next_lsn;
             st.tail += total_len;
             st.next_lsn += 1;
-            // Persist the validity word and make the name visible to
-            // concurrent conflict scans before releasing the reservation.
+            // Stamp the header + name (store only — durability is
+            // deferred to the publish flush or the next commit fence's
+            // header-gap flush) so later conflict scans and the swap
+            // relocator see a fully written record prefix.
             record::write_header(&self.pool, off, lsn, total_len, op, name);
-            let conflicts = self.scan_conflicts(st.active, off, name);
-            (off, lsn, conflicts, st.active)
+            self.hdr_written.store(off + total_len, Ordering::Release);
+            (off, lsn, st.active)
         };
-        let _ = active;
-        // Body write + reverse-order flush happen outside the reservation
-        // lock but *inside* the swap read lock, so a swap never relocates
-        // a half-written record.
-        record::write_params(&self.pool, off, name.len(), params);
-        record::flush_record(&self.pool, off, total_len);
+        // The scan runs *outside* the reserve lock: every header below
+        // `off` was written under the lock before it was handed to us, so
+        // the lock handoff orders those writes before our reads, and
+        // concurrent reservations only write at offsets ≥ `off +
+        // total_len`, which the scan never reaches. Racing hint updates
+        // are safe — each scanner stores an offset it observed as "all
+        // committed below", and committed flags are sticky within a
+        // buffer incarnation.
+        let conflicts = self.scan_conflicts(active, off, name);
         self.stats.appends.fetch_add(1, Ordering::Relaxed);
         self.stats
             .conflicts_detected
             .fetch_add(conflicts.len() as u64, Ordering::Relaxed);
-        Ok(AppendResult {
-            handle: RecordHandle {
-                epoch: self.epoch.load(Ordering::Acquire),
-                off,
-            },
-            conflicts,
+        Ok(Reservation {
+            log: self,
+            off,
+            total_len,
+            name_len: name.len(),
             lsn,
+            epoch: self.epoch.load(Ordering::Acquire),
+            conflicts,
+            _swap: guard,
         })
+    }
+
+    /// Appends a record for `op` on `name`, returning its handle and the
+    /// in-flight conflicts to wait on, or [`LogFull`] when a swap is
+    /// required first. Equivalent to [`OpLog::reserve`] followed
+    /// immediately by [`Reservation::publish`].
+    ///
+    /// On return the record is fully written and flushed (the paper's
+    /// step ②); it becomes *committed* — and hence replayable — only via
+    /// [`OpLog::commit`] (step ⑨).
+    pub fn try_append(&self, op: u16, name: &[u8], params: &[u8]) -> Result<AppendResult, LogFull> {
+        Ok(self.reserve(op, name, params.len())?.publish(params))
     }
 
     /// Scans the active buffer from the first-uncommitted hint up to (not
     /// including) `my_off` for pending records naming `name`.
-    /// Called with the reservation lock held, so every earlier record's
-    /// header and name are visible.
+    /// Called after the caller's own reservation (with the swap lock held
+    /// shared), so every earlier record's header and name are visible —
+    /// they were written under the reserve lock before it was handed to
+    /// the caller.
     fn scan_conflicts(&self, active: usize, my_off: usize, name: &[u8]) -> Vec<RecordHandle> {
         let hash = record::name_hash(name);
         let epoch = self.epoch.load(Ordering::Acquire);
@@ -301,13 +393,83 @@ impl OpLog {
         Ok(h.off)
     }
 
-    /// Marks the record committed and persists the flag. Called once per
+    /// Header ranges between the durable-header frontier and the written
+    /// frontier, walked by trustworthy (reserve-lock-ordered) length
+    /// words, plus the new frontier to publish after they persist. Every
+    /// commit fence flushes this gap first, so a durable commit flag
+    /// implies the walk can chain past every earlier record — including
+    /// reservations that crash before their publish flush. Usually empty:
+    /// a publish completing at the frontier advances it past its own
+    /// record (see [`Reservation::publish`]). Callers hold the swap lock
+    /// shared, so the active buffer cannot be recycled underneath.
+    ///
+    /// Racing committers may both flush an overlapping gap — redundant
+    /// but correct; `fetch_max` keeps the frontier monotonic.
+    fn header_gap(&self) -> (Vec<(usize, usize)>, usize) {
+        let target = self.hdr_written.load(Ordering::Acquire);
+        let mut from = self.hdr_durable.load(Ordering::Acquire);
+        let mut ranges = Vec::new();
+        while from < target {
+            let (_, len) = record::read_word(&self.pool, from);
+            debug_assert!(len >= record::HEADER_LEN, "gap walk hit a hole");
+            ranges.push(record::header_flush_range(from));
+            from += len;
+        }
+        (ranges, target)
+    }
+
+    /// Marks the record committed and persists the flag (behind the
+    /// header-gap flush — see `OpLog::header_gap`). Called once per
     /// record, after the operation's data is durable (§4.5).
+    ///
+    /// With commit combining on, concurrent committers share one
+    /// flush+fence: each writes its flag and enqueues its offset, and
+    /// whichever thread wins the drain lock persists the whole batch via
+    /// [`PmemPool::persist_many`]. Every participant still returns only
+    /// once its own flag is durable, so the commit's durability contract
+    /// is unchanged — only the fence count drops.
     pub fn commit(&self, h: RecordHandle) {
         let _g = self.swap_lock.read();
-        match self.resolve(h) {
-            Ok(off) => record::set_commit(&self.pool, off, COMMIT_COMMITTED),
+        let off = match self.resolve(h) {
+            Ok(off) => off,
             Err(()) => unreachable!("only the owner commits, and it commits once"),
+        };
+        if !self.combine_commits {
+            record::write_commit(&self.pool, off, COMMIT_COMMITTED);
+            let (mut ranges, hdr_target) = self.header_gap();
+            ranges.push(record::commit_flag_range(off));
+            self.pool.persist_many(&ranges);
+            self.hdr_durable.fetch_max(hdr_target, Ordering::AcqRel);
+            return;
+        }
+        record::write_commit(&self.pool, off, COMMIT_COMMITTED);
+        let ticket = {
+            let mut q = self.combiner.queue.lock();
+            q.push(off);
+            self.combiner.tickets.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        // Offsets stay valid while every participant holds the swap lock
+        // shared: no swap can relocate a queued record under the winner.
+        let mut backoff = Backoff::new();
+        while self.combiner.served.load(Ordering::Acquire) < ticket {
+            if let Some(_d) = self.combiner.drain.try_lock() {
+                let batch = std::mem::take(&mut *self.combiner.queue.lock());
+                if !batch.is_empty() {
+                    let (mut ranges, hdr_target) = self.header_gap();
+                    ranges.extend(batch.iter().map(|&off| record::commit_flag_range(off)));
+                    self.pool.persist_many(&ranges);
+                    self.hdr_durable.fetch_max(hdr_target, Ordering::AcqRel);
+                    self.stats.commit_batches.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .commits_combined
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.combiner
+                        .served
+                        .fetch_add(batch.len() as u64, Ordering::Release);
+                }
+            } else {
+                backoff.snooze();
+            }
         }
     }
 
@@ -348,13 +510,15 @@ impl OpLog {
     /// but rather spin on dedicated flags").
     pub fn wait_committed(&self, h: RecordHandle) {
         let t = std::time::Instant::now();
+        let mut backoff = Backoff::new();
         while !self.is_committed(h) {
-            // Yield between probes: on small hosts the conflicting op's
-            // thread needs the core to make progress.
-            std::thread::yield_now();
+            // Back off between probes: on small hosts the conflicting
+            // op's thread needs the core to make progress, and a raw
+            // yield loop burns a full core per blocked writer.
+            backoff.snooze();
             // Deadlock detector: no operation legitimately holds a record
             // pending this long; fail loudly instead of hanging.
-            if t.elapsed() > self.stall_timeout {
+            if backoff.is_sleeping() && t.elapsed() > self.stall_timeout {
                 let rec = self
                     .resolve(h)
                     .ok()
@@ -417,8 +581,12 @@ impl OpLog {
         // sets, in one persisted 8-byte root store.
         begin_root_transition();
 
-        // Publish the volatile side.
+        // Publish the volatile side. The relocated records were fully
+        // flushed above, so the new buffer's header frontiers start
+        // durable at its tail.
         self.relocations.lock().extend(moves);
+        self.hdr_written.store(new_tail, Ordering::Release);
+        self.hdr_durable.store(new_tail, Ordering::Release);
         st.active = new;
         st.tail = new_tail;
         self.hints[new].store(self.layout.log_records(new), Ordering::Release);
@@ -490,6 +658,98 @@ impl OpLog {
                 record::set_commit(&self.pool, r.off, record::COMMIT_ABORTED);
             }
         }
+    }
+}
+
+/// A reserved-but-unpublished log record: the output of the short
+/// serialized append step ([`OpLog::reserve`]). The header (validity
+/// word, op, name) is already written and visible to conflict scans; the
+/// parameter body is not, and nothing is durable yet — the publish flush
+/// or the next commit fence's header-gap flush takes care of that.
+///
+/// Holds the swap lock shared for its whole lifetime, so the slot cannot
+/// be relocated mid-write. Because of that, **do not** call the
+/// lock-taking `OpLog` record methods (`commit`/`abort`/`same_record`)
+/// while a reservation is live — `parking_lot` read locks are not
+/// reentrant past a queued writer. Use [`Reservation::same_record`] and
+/// [`Reservation::abort`] instead; they rely on the already-held guard.
+#[must_use = "a reservation must be published or aborted"]
+pub struct Reservation<'a> {
+    log: &'a OpLog,
+    off: usize,
+    total_len: usize,
+    name_len: usize,
+    lsn: u64,
+    epoch: u64,
+    conflicts: Vec<RecordHandle>,
+    _swap: RwLockReadGuard<'a, ()>,
+}
+
+impl Reservation<'_> {
+    /// The reserved record's LSN.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Handle to the reserved record.
+    pub fn handle(&self) -> RecordHandle {
+        RecordHandle {
+            epoch: self.epoch,
+            off: self.off,
+        }
+    }
+
+    /// In-flight records on the same object that must commit before this
+    /// operation may touch the object.
+    pub fn conflicts(&self) -> &[RecordHandle] {
+        &self.conflicts
+    }
+
+    /// Whether two handles refer to the same still-pending record — the
+    /// reservation-safe variant of [`OpLog::same_record`] (resolves the
+    /// relocation chains under the already-held swap guard instead of
+    /// re-acquiring the lock).
+    pub fn same_record(&self, a: RecordHandle, b: RecordHandle) -> bool {
+        match (self.log.resolve(a), self.log.resolve(b)) {
+            (Ok(x), Ok(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Writes and flushes the record body — the parallel persistence
+    /// step (the paper's step ②). Runs concurrently with other
+    /// publishers; only the reservation itself was serialized.
+    pub fn publish(self, params: &[u8]) -> AppendResult {
+        debug_assert_eq!(
+            record::encoded_len(self.name_len, params.len()),
+            self.total_len,
+            "publish params length differs from the reserved length"
+        );
+        record::write_params(&self.log.pool, self.off, self.name_len, params);
+        record::flush_record(&self.log.pool, self.off, self.total_len);
+        // Contiguous-frontier fast path: if this record sits exactly at
+        // the durable-header frontier, the flush above made everything
+        // below `off + total_len` durable — advance it so commit fences
+        // have no header gap to flush when publishes complete in
+        // reservation order.
+        let _ = self.log.hdr_durable.compare_exchange(
+            self.off,
+            self.off + self.total_len,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        AppendResult {
+            handle: self.handle(),
+            conflicts: self.conflicts,
+            lsn: self.lsn,
+        }
+    }
+
+    /// Marks the reserved record aborted without ever paying the body
+    /// flush — used when the conflict scan or the allocation step fails
+    /// and the operation will retry with a fresh record.
+    pub fn abort(self) {
+        record::set_commit(&self.log.pool, self.off, record::COMMIT_ABORTED);
     }
 }
 
@@ -665,6 +925,32 @@ mod tests {
     }
 
     #[test]
+    fn commit_fence_covers_unpublished_reservations() {
+        let (p, _l, log) = setup(1 << 16);
+        // A reservation that never publishes before the crash...
+        let res = log.reserve(7, b"unpublished", 3).unwrap();
+        // ...must not strand a later committed record: the commit fence
+        // flushes the header gap, so the walk chains past the hole.
+        let b = log.try_append(1, b"durable", &[9]).unwrap();
+        log.commit(b.handle);
+        p.simulate_crash();
+        let recs = log.walk(0);
+        assert_eq!(
+            recs.len(),
+            2,
+            "walk must chain past the crashed reservation"
+        );
+        // The crashed reservation is pending (its name/params bytes are
+        // not durable — only the header is, which is all recovery needs).
+        assert_eq!(recs[0].commit, COMMIT_PENDING);
+        let committed = log.committed_records(0);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].name, b"durable");
+        assert_eq!(&committed[0].params[..1], &[9]);
+        drop(res);
+    }
+
+    #[test]
     fn abort_pending_silences_conflicts_and_replay() {
         let (_p, _l, log) = setup(1 << 16);
         let _a = log.try_append(1, b"zombie", &[]).unwrap();
@@ -705,6 +991,114 @@ mod tests {
         for w in recs.windows(2) {
             assert_eq!(w[1].lsn, w[0].lsn + 1, "walk sequence broken");
         }
+    }
+
+    #[test]
+    fn reservation_is_conflict_visible_before_publish() {
+        let (_p, _l, log) = setup(1 << 16);
+        let res = log.reserve(1, b"hot", 3).unwrap();
+        assert!(res.conflicts().is_empty());
+        // A second reservation on the same object sees the unpublished
+        // record as a conflict — the header alone carries the name.
+        let other = log.reserve(1, b"hot", 0).unwrap();
+        assert_eq!(other.conflicts().len(), 1);
+        assert_eq!(other.conflicts()[0], res.handle());
+        other.abort();
+        let r = res.publish(&[7, 8, 9]);
+        log.commit(r.handle);
+        let recs = log.walk(0);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].commit, COMMIT_COMMITTED);
+        assert_eq!(&recs[0].params[..3], &[7, 8, 9]);
+        assert_eq!(recs[1].commit, record::COMMIT_ABORTED);
+        // Aborted reservations are not conflicts for later appends.
+        let d = log.try_append(1, b"hot", &[]).unwrap();
+        assert!(d.conflicts.is_empty());
+        log.commit(d.handle);
+    }
+
+    #[test]
+    fn aborted_reservation_keeps_log_walkable() {
+        let (p, _l, log) = setup(1 << 16);
+        let res = log.reserve(3, b"dropped", 100).unwrap();
+        res.abort();
+        let b = log.try_append(1, b"kept", &[1]).unwrap();
+        log.commit(b.handle);
+        p.simulate_crash();
+        // The aborted record's header was persisted at reserve time, so
+        // the walk steps over it and still finds the committed record.
+        let recs = log.walk(0);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].commit, record::COMMIT_ABORTED);
+        let committed = log.committed_records(0);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].name, b"kept");
+    }
+
+    #[test]
+    fn reservation_same_record_matches_own_handle() {
+        let (_p, _l, log) = setup(1 << 16);
+        let lockrec = log.try_append(record::OP_NOOP, b"obj", &[]).unwrap();
+        let res = log.reserve(1, b"obj", 0).unwrap();
+        assert_eq!(res.conflicts().len(), 1);
+        assert!(res.same_record(lockrec.handle, res.conflicts()[0]));
+        assert!(!res.same_record(res.handle(), res.conflicts()[0]));
+        let r = res.publish(&[]);
+        log.commit(r.handle);
+        log.commit(lockrec.handle);
+    }
+
+    #[test]
+    fn combined_commits_are_durable() {
+        let (p, _l, mut log) = setup(1 << 20);
+        log.set_commit_combining(true);
+        let log = Arc::new(log);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let name = format!("t{t}-o{i}");
+                        let r = log.try_append(1, name.as_bytes(), &[t as u8]).unwrap();
+                        log.commit(r.handle);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        p.simulate_crash();
+        assert_eq!(log.committed_records(0).len(), 200);
+        let batches = log.stats().commit_batches.load(Ordering::Relaxed);
+        let combined = log.stats().commits_combined.load(Ordering::Relaxed);
+        assert_eq!(combined, 200, "every commit went through the combiner");
+        assert!((1..=200).contains(&batches));
+    }
+
+    #[test]
+    fn combining_swaps_and_conflicts_interoperate() {
+        let (_p, _l, mut log) = setup(1 << 20);
+        log.set_commit_combining(true);
+        let log = Arc::new(log);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let r = log.try_append(1, b"contended", &[]).unwrap();
+                        for c in &r.conflicts {
+                            log.wait_committed(*c);
+                        }
+                        log.commit(r.handle);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(log.committed_records(0).len(), 400);
     }
 
     #[test]

@@ -93,16 +93,19 @@ pub fn unpack_word(w: u64) -> (u64, usize) {
     (w >> 16, (w & 0xFFFF) as usize)
 }
 
-/// Writes and **persists** the record header at pool offset `off`:
-/// the validity word, op, pending commit, name length/hash, and the name
-/// bytes. Called inside the reservation critical section so the log is
-/// always walkable and conflict-scannable up to the tail.
+/// Writes (store only — **no flush**) the record header at pool offset
+/// `off`: the validity word, op, pending commit, name length/hash, and
+/// the name bytes. Called inside the reservation critical section so the
+/// log is always walkable and conflict-scannable up to the tail in DRAM.
 ///
-/// The whole header *and name* are synchronously persisted — one cache
-/// line for typical names — not just the validity word: a buffer may be
-/// recycled, so the bytes behind a crashed append could otherwise be a
-/// previous incarnation's record, whose stale `commit = 1` would
-/// resurrect a never-completed operation at recovery.
+/// Durability is deferred out of the critical section: the record's own
+/// [`flush_record`] at publish covers it, and for records that crash
+/// between reservation and publish, every commit fence first flushes the
+/// header gap (see `OpLog::header_gap`) over [`header_flush_range`] —
+/// so by the time any commit flag is durable, the walk can chain past
+/// every earlier header. Stale records from a recycled buffer's previous
+/// incarnation are rejected by the persisted `min_lsn` fence plus the
+/// header checksum, not by header durability.
 pub fn write_header(pool: &PmemPool, off: usize, lsn: u64, total_len: usize, op: u16, name: &[u8]) {
     debug_assert!(name.len() <= u16::MAX as usize);
     let mut hdr = [0u8; HEADER_LEN];
@@ -118,10 +121,16 @@ pub fn write_header(pool: &PmemPool, off: usize, lsn: u64, total_len: usize, op:
     if !name.is_empty() {
         pool.write_bytes(off + HEADER_LEN, name);
     }
-    // Persist the header + name: the walk must never hit a hole of
-    // unknown length, and a pending record's durable commit byte must be
-    // 0, never stale bytes from the buffer's previous incarnation.
-    pool.persist(off, HEADER_LEN + name.len());
+}
+
+/// The byte range a commit fence must flush for a reserved-but-unflushed
+/// record so the recovery walk can chain past it: the fixed header only.
+/// The name/params need no durability here — the header's checksum covers
+/// only the word and name *hash*, and recovery reads name/params bytes
+/// solely from committed records, which were fully flushed at publish.
+#[inline]
+pub fn header_flush_range(off: usize) -> (usize, usize) {
+    (off, HEADER_LEN)
 }
 
 /// Writes the parameter bytes (after the name) of a reserved record.
@@ -148,6 +157,19 @@ pub fn flush_record(pool: &PmemPool, off: usize, total_len: usize) {
 pub fn set_commit(pool: &PmemPool, off: usize, value: u16) {
     pool.write_bytes(off + OFF_COMMIT, &value.to_le_bytes());
     pool.persist(off + OFF_COMMIT, 2);
+}
+
+/// Writes the commit flag **without** persisting it — the flush
+/// combiner batches the flush+fence for many records behind one call to
+/// [`PmemPool::persist_many`] over their [`commit_flag_range`]s.
+pub fn write_commit(pool: &PmemPool, off: usize, value: u16) {
+    pool.write_bytes(off + OFF_COMMIT, &value.to_le_bytes());
+}
+
+/// The byte range of a record's commit flag, for batched persistence.
+#[inline]
+pub fn commit_flag_range(off: usize) -> (usize, usize) {
+    (off + OFF_COMMIT, 2)
 }
 
 /// Reads the commit flag.
@@ -328,13 +350,16 @@ mod tests {
     }
 
     #[test]
-    fn header_word_is_durable_at_reserve_time() {
+    fn header_durable_after_gap_flush() {
         let p = PmemPool::strict(1 << 16);
         write_header(&p, 128, 9, encoded_len(4, 8), 2, b"name");
-        // No record flush yet — crash now.
+        // Reservation alone is a store; the commit fence's header-gap
+        // flush is what makes the header durable.
+        let (off, len) = header_flush_range(128);
+        p.persist(off, len);
         p.simulate_crash();
         let (lsn, len) = read_word(&p, 128);
-        assert_eq!(lsn, 9, "validity word must survive reservation");
+        assert_eq!(lsn, 9, "validity word must survive the gap flush");
         assert_eq!(len, encoded_len(4, 8));
         // But the commit flag can never be durable-committed yet.
         assert_eq!(read_commit(&p, 128), COMMIT_PENDING);
@@ -364,6 +389,8 @@ mod tests {
         let len = encoded_len(name.len(), params.len());
         write_header(&p, 0, 3, len, 1, name);
         write_params(&p, 0, name.len(), &params);
+        let (o, l) = header_flush_range(0);
+        p.persist(o, l);
         // Crash before flush_record: params lost, but the walk still sees
         // a pending record of known length.
         p.simulate_crash();

@@ -1,0 +1,89 @@
+//! Bounded exponential backoff for short cross-thread waits.
+//!
+//! The store has a handful of spots where one thread waits for another
+//! to finish a step that is normally a few microseconds away: a reader
+//! waiting for an in-flight writer, a writer waiting for a conflicting
+//! log record to commit, a commit waiting for the flush combiner.
+//! A raw `yield_now` loop burns a full core per waiter under
+//! contention; a blocking primitive is too heavy for waits this short.
+//! This helper escalates spin → yield → capped micro-sleeps, so the
+//! common fast path stays on-core while a stalled wait backs off to a
+//! few wakeups per millisecond.
+
+use std::time::Duration;
+
+/// Spin-loop limit: 2^6 = 64 `spin_loop` hints before yielding.
+const SPIN_STEPS: u32 = 6;
+/// Yields taken after spinning, before sleeping.
+const YIELD_STEPS: u32 = 4;
+/// Longest sleep per snooze once fully backed off.
+const MAX_SLEEP_US: u64 = 256;
+
+/// Escalating wait helper; one instance per wait loop.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Fresh backoff, starting at the cheapest (pure spin) stage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Waits a little, escalating on each call: `spin_loop` bursts,
+    /// then `yield_now`, then sleeps doubling up to 256 µs.
+    pub fn snooze(&mut self) {
+        if self.step < SPIN_STEPS {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < SPIN_STEPS + YIELD_STEPS {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.step - SPIN_STEPS - YIELD_STEPS).min(4);
+            let us = (16u64 << exp).min(MAX_SLEEP_US);
+            std::thread::sleep(Duration::from_micros(us));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// True once the wait has escalated past the busy (spin/yield)
+    /// stages — callers use this to start their stall-timeout clock
+    /// checks only when a wait is already slow.
+    pub fn is_sleeping(&self) -> bool {
+        self.step >= SPIN_STEPS + YIELD_STEPS
+    }
+
+    /// Resets to the spin stage (the awaited condition made progress).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_sleeping());
+        for _ in 0..SPIN_STEPS + YIELD_STEPS {
+            b.snooze();
+        }
+        assert!(b.is_sleeping());
+        b.snooze(); // first sleep: 16 µs, far below any test budget
+        b.reset();
+        assert!(!b.is_sleeping());
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut b = Backoff::new();
+        b.step = u32::MAX - 1;
+        b.snooze();
+        b.snooze();
+        assert_eq!(b.step, u32::MAX);
+    }
+}

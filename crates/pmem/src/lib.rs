@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod latency;
 pub mod mapping;
 pub mod pool;
 pub mod stats;
 
+pub use backoff::Backoff;
 pub use latency::LatencyModel;
 pub use pool::{PersistenceMode, PmemPool, PoolBuilder};
 pub use stats::PmemStats;

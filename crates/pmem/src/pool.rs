@@ -310,6 +310,32 @@ impl PmemPool {
         self.fence();
     }
 
+    /// Persists several ranges behind a **single** fence — the flush
+    /// combiner's batch primitive. Latency-wise this models a train of
+    /// independent `clwb`s (which pipeline, so the whole batch is
+    /// charged as one multi-line flush) followed by one `sfence`,
+    /// rather than `ranges.len()` full flush+fence round trips.
+    pub fn persist_many(&self, ranges: &[(usize, usize)]) {
+        let mut lines = 0usize;
+        for &(off, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            self.check_range(off, len);
+            let start = line_down(off);
+            let end = line_up(off + len);
+            lines += (end - start) / CACHE_LINE;
+            self.stats.record_flush((end - start) as u64);
+            if self.mode == PersistenceMode::Strict {
+                self.pending.lock().push(PendingRange { start, end });
+            }
+        }
+        if lines > 0 {
+            self.latency.charge_flush(lines);
+        }
+        self.fence();
+    }
+
     /// Copies `[start, end)` (line-aligned) volatile → persistent.
     fn persist_lines(&self, start: usize, end: usize) {
         let Some(p) = &self.persistent else { return };
@@ -499,6 +525,24 @@ mod tests {
         let mut b = [0u8; 1];
         p.read_bytes(0, &mut b);
         assert_eq!(b[0], b'y');
+    }
+
+    #[test]
+    fn persist_many_is_durable_behind_one_fence() {
+        let p = PmemPool::strict(4096);
+        p.write_bytes(0, b"aa");
+        p.write_bytes(512, b"bb");
+        p.write_bytes(1024, b"cc");
+        let before = p.stats().snapshot().fences;
+        p.persist_many(&[(0, 2), (512, 2), (1024, 2)]);
+        let after = p.stats().snapshot().fences;
+        assert_eq!(after - before, 1, "one fence covers the whole batch");
+        p.simulate_crash();
+        let mut b = [0u8; 2];
+        for (off, want) in [(0usize, b"aa"), (512, b"bb"), (1024, b"cc")] {
+            p.read_bytes(off, &mut b);
+            assert_eq!(&b, want);
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// Fixed trace segments, in pipeline order. Indices are stable public
 /// API: exporters and dashboards may hard-code them.
-pub const SEGMENT_NAMES: [&str; 9] = [
+pub const SEGMENT_NAMES: [&str; 10] = [
     "log_append",
     "alloc",
     "index",
@@ -37,12 +37,16 @@ pub const SEGMENT_NAMES: [&str; 9] = [
     "ssd_read",
     "cc_wait",
     "log_stall",
+    "log_flush",
 ];
 
 /// Number of fixed segments.
 pub const NUM_SEGMENTS: usize = SEGMENT_NAMES.len();
 
-/// PMEM op-log reserve + header/params write + record flush (Fig. 4 ②).
+/// PMEM op-log ordering: lock acquisition + slot reservation (LSN +
+/// header stamp + conflict scan) — the serialized part of Fig. 4 ②.
+/// The serialized-baseline write path (`parallel_persistence = false`)
+/// also charges its in-lock record flush here.
 pub const SEG_LOG_APPEND: usize = 0;
 /// DRAM/arena block allocation, including allocator lock stalls (③④).
 pub const SEG_ALLOC: usize = 1;
@@ -61,6 +65,11 @@ pub const SEG_SSD_READ: usize = 6;
 pub const SEG_CC_WAIT: usize = 7;
 /// Stalls waiting for a log-full checkpoint to free log space.
 pub const SEG_LOG_STALL: usize = 8;
+/// Out-of-lock record body write + flush — the parallel part of
+/// Fig. 4 ② under `parallel_persistence` (runs concurrently with other
+/// appenders; zero on the serialized baseline, which flushes inside
+/// `log_append`).
+pub const SEG_LOG_FLUSH: usize = 9;
 
 /// One completed, retained operation trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
