@@ -104,6 +104,15 @@ pub struct DStoreConfig {
     /// shards sharing few cores); lower it in tests that want stalls
     /// surfaced quickly.
     pub stall_timeout: Duration,
+    /// Worker threads for OE-parallel checkpoint apply and recovery
+    /// replay: the shadow bulk copy/flush is chunked across this many
+    /// threads, and committed records are replayed grouped by their
+    /// name's pool shard, one group set per worker (per-object LSN order
+    /// preserved; windows containing shard-steal allocations fall back
+    /// to serial log order). `1` reproduces the fully serial apply path.
+    /// Defaults to the host's available parallelism, overridable with
+    /// the `DSTORE_REPLAY_THREADS` environment variable.
+    pub replay_threads: usize,
 }
 
 impl Default for DStoreConfig {
@@ -128,8 +137,20 @@ impl Default for DStoreConfig {
             telemetry: true,
             trace: TraceConfig::default(),
             stall_timeout: Duration::from_secs(30),
+            replay_threads: default_replay_threads(),
         }
     }
+}
+
+/// Default for [`DStoreConfig::replay_threads`]: the
+/// `DSTORE_REPLAY_THREADS` environment variable when set (CI pins its
+/// serial leg through this), else the host's available parallelism.
+fn default_replay_threads() -> usize {
+    std::env::var("DSTORE_REPLAY_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 impl DStoreConfig {
@@ -201,6 +222,12 @@ impl DStoreConfig {
         self.parallel_persistence = on;
         self
     }
+    /// Sets the checkpoint-apply / recovery-replay worker count
+    /// (`1` = serial).
+    pub fn with_replay_threads(mut self, threads: usize) -> Self {
+        self.replay_threads = threads;
+        self
+    }
 
     /// Validates the configuration, returning a description of the first
     /// problem. Called by [`crate::DStore::create`] so misconfigurations
@@ -257,6 +284,12 @@ impl DStoreConfig {
                 crate::structures::MAX_POOL_SHARDS
             ));
         }
+        if !(1..=256).contains(&self.replay_threads) {
+            return Err(format!(
+                "replay_threads = {} must be within [1, 256]",
+                self.replay_threads
+            ));
+        }
         // The shadow arena must hold the block-pool rings plus headroom
         // for per-object metadata; a pool array that alone exceeds the
         // region would panic at format time. Each shard ring has full
@@ -293,6 +326,7 @@ mod tests {
         assert!(c.swap_threshold > 0.0 && c.swap_threshold < 1.0);
         assert!(c.parallel_persistence);
         assert_eq!(c.pool_shards, 8);
+        assert!(c.replay_threads >= 1);
     }
 
     #[test]
@@ -332,6 +366,12 @@ mod tests {
         assert!(c.validate().unwrap_err().contains("pool_shards"));
 
         let mut c = DStoreConfig::small();
+        c.replay_threads = 0;
+        assert!(c.validate().unwrap_err().contains("replay_threads"));
+        c.replay_threads = 257;
+        assert!(c.validate().unwrap_err().contains("replay_threads"));
+
+        let mut c = DStoreConfig::small();
         c.trace.ring_capacity = 0;
         assert!(c.validate().unwrap_err().contains("trace.ring_capacity"));
         c.trace.ring_capacity = (1 << 20) + 1;
@@ -350,6 +390,7 @@ mod tests {
             .with_auto_checkpoint(false)
             .with_pool_shards(4)
             .with_parallel_persistence(false)
+            .with_replay_threads(2)
             .with_trace(TraceConfig {
                 sample_every: 16,
                 slo_ns: 250_000,
@@ -361,6 +402,7 @@ mod tests {
         assert!(!c.auto_checkpoint);
         assert_eq!(c.pool_shards, 4);
         assert!(!c.parallel_persistence);
+        assert_eq!(c.replay_threads, 2);
         assert!(c.strict_pmem);
         assert!(c.trace.enabled);
         assert_eq!(c.trace.sample_every, 16);

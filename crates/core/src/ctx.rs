@@ -586,6 +586,15 @@ impl DsContext {
                             };
                             match p {
                                 Ok(p) => {
+                                    // A plan that pulled blocks from a
+                                    // foreign shard breaks per-shard
+                                    // replay determinism: stamp the
+                                    // record (before its body flush) so
+                                    // replay of this window degrades to
+                                    // serial log order.
+                                    if d.take_stole() {
+                                        res.set_steal_flag();
+                                    }
                                     // Make the writer visible before
                                     // leaving the synchronous region.
                                     inner.writers.register(name);

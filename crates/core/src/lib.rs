@@ -50,6 +50,7 @@ pub mod cow;
 pub mod ctx;
 pub mod error;
 pub mod ops;
+pub mod replay;
 pub mod stats;
 pub mod store;
 pub mod structures;
@@ -58,6 +59,7 @@ pub mod telemetry;
 pub use config::{CheckpointMode, DStoreConfig, LoggingMode};
 pub use ctx::{DsContext, DsLock, ObjectHandle, ObjectStat, OpenMode};
 pub use error::{DsError, DsResult};
+pub use replay::{ReplaySnapshot, ReplayStats};
 pub use stats::{Footprint, StatsSnapshot, StoreStats, WriteBreakdown};
 pub use store::{CrashImage, DStore, RecoveryReport};
 pub use telemetry::HealthSnapshot;

@@ -5,6 +5,7 @@ use crate::config::{CheckpointMode, DStoreConfig};
 use crate::cow::CowCheckpointer;
 use crate::ctx::DsContext;
 use crate::error::{DsError, DsResult};
+use crate::replay::{self, ReplaySnapshot, ReplayStats};
 use crate::stats::{Footprint, StoreStats};
 use crate::structures::{Directory, Domain};
 use crate::telemetry::{HealthSnapshot, StoreTelemetry};
@@ -15,10 +16,10 @@ use dstore_dipper::{recover_scan, Checkpointer, DipperConfig, OpLog, PmemLayout,
 use dstore_index::ReadCounts;
 use dstore_pmem::{PersistenceMode, PmemPool, PoolBuilder};
 use dstore_ssd::SsdDevice;
+use dstore_telemetry::SpanRing;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// SSD superblock magic ("DSTORESB").
 const SB_MAGIC: u64 = 0x4453_544f_5245_5342;
@@ -117,6 +118,9 @@ pub(crate) struct StoreInner {
     pub cow: Option<CowCheckpointer>,
     pub stats: StoreStats,
     pub recovery: RecoveryReport,
+    /// Parallel-replay counters, shared with the checkpoint applier (and
+    /// pre-populated by recovery's replay on a recovered store).
+    pub replay: Arc<ReplayStats>,
     /// Always-on telemetry (None when `cfg.telemetry` is off).
     pub telemetry: Option<Arc<StoreTelemetry>>,
 }
@@ -183,8 +187,18 @@ pub struct DStore {
 }
 
 /// Builds the DIPPER applier: replays committed records onto the given
-/// shadow region using the same [`Domain`] code the frontend runs.
-fn make_applier(pool: &Arc<PmemPool>, layout: PmemLayout, dir: RelPtr<Directory>) -> Applier {
+/// shadow region using the same [`Domain`] code the frontend runs,
+/// OE-parallel across pool shards when `threads > 1` (see
+/// [`crate::replay`]). Per-group spans land in `ring` (the checkpoint
+/// ring for live applies, the recovery ring for a redo).
+fn make_applier(
+    pool: &Arc<PmemPool>,
+    layout: PmemLayout,
+    dir: RelPtr<Directory>,
+    threads: usize,
+    stats: Arc<ReplayStats>,
+    ring: Option<Arc<SpanRing>>,
+) -> Applier {
     let pool = Arc::clone(pool);
     Arc::new(move |shadow_idx: usize, records| {
         let arena = Arena::attach(PmemRange::new(
@@ -193,14 +207,7 @@ fn make_applier(pool: &Arc<PmemPool>, layout: PmemLayout, dir: RelPtr<Directory>
             layout.shadow_size,
         ))
         .expect("shadow region holds a valid arena");
-        let domain = Domain::attach(&arena, dir);
-        // Serial replay in log (conflict) order: block-pool pops must
-        // follow the exact frontend sequence (see `structures`). The
-        // install phases could be OE-parallelized across objects; replay
-        // is far from the bottleneck (it skips the NVMe writes entirely).
-        for r in records {
-            domain.replay(r);
-        }
+        replay::replay_window(&arena, dir, records, threads, &stats, ring.as_deref());
     })
 }
 
@@ -280,6 +287,7 @@ impl DStore {
                 dram,
                 dir,
                 RecoveryReport::default(),
+                Arc::new(ReplayStats::default()),
                 telemetry,
             ),
         })
@@ -296,6 +304,7 @@ impl DStore {
         dram: Arc<Arena<DramMemory>>,
         dir: RelPtr<Directory>,
         recovery: RecoveryReport,
+        replay: Arc<ReplayStats>,
         telemetry: Option<Arc<StoreTelemetry>>,
     ) -> Arc<StoreInner> {
         let drain = Arc::new(RwLock::new(()));
@@ -306,7 +315,14 @@ impl DStore {
         let pool_shard_locks: Box<[Mutex<()>]> = (0..nshards).map(|_| Mutex::new(())).collect();
         let (ckpt, cow) = match cfg.checkpoint {
             CheckpointMode::Dipper => {
-                let applier = make_applier(&pool, layout, dir);
+                let applier = make_applier(
+                    &pool,
+                    layout,
+                    dir,
+                    cfg.replay_threads,
+                    Arc::clone(&replay),
+                    telemetry.as_ref().map(|t| Arc::clone(&t.ckpt.ring)),
+                );
                 let c = Checkpointer::new(
                     Arc::clone(&pool),
                     layout,
@@ -314,6 +330,7 @@ impl DStore {
                     Arc::clone(&log),
                     applier,
                 );
+                c.set_apply_threads(cfg.replay_threads);
                 if let Some(t) = &telemetry {
                     c.set_telemetry(t.ckpt.clone());
                 }
@@ -354,6 +371,7 @@ impl DStore {
             cow,
             stats: StoreStats::new(),
             recovery,
+            replay,
             telemetry,
         })
     }
@@ -493,6 +511,15 @@ impl DStore {
         &self.inner.stats
     }
 
+    /// Parallel-replay counters: windows, shard groups, serialized
+    /// fallbacks (steal-flagged windows), records, and the serialized
+    /// nanoseconds the admission-rate bound is computed from. Covers the
+    /// checkpoint applier of this store plus — on a recovered store —
+    /// recovery's redo and active-log replay.
+    pub fn replay_stats(&self) -> ReplaySnapshot {
+        self.inner.replay.snapshot()
+    }
+
     /// Full telemetry snapshot: per-op latency histograms, checkpoint and
     /// recovery phase spans, gauges (log fill, arena high-water, SSD
     /// blocks in use), operation/device counters. `None` when the store
@@ -543,6 +570,17 @@ impl DStore {
             vec![],
             self.checkpoints_completed(),
         );
+        // OE-parallel replay (checkpoint apply + recovery).
+        let r = self.replay_stats();
+        snap.push_counter("dstore_replay_windows_total", vec![], r.windows);
+        snap.push_counter("dstore_replay_groups_total", vec![], r.groups);
+        snap.push_counter(
+            "dstore_replay_serial_fallbacks_total",
+            vec![],
+            r.serial_fallbacks,
+        );
+        snap.push_counter("dstore_replay_records_total", vec![], r.records);
+        snap.push_counter("dstore_replay_serialized_ns_total", vec![], r.serialized_ns);
         // Device traffic.
         let p = self.inner.pool.stats().snapshot();
         snap.push_counter("dstore_pmem_flush_bytes_total", vec![], p.flush_bytes);
@@ -751,12 +789,21 @@ impl DStore {
         };
         let plan = recover_scan(&pool, &layout, &root);
         let mut report = RecoveryReport::default();
+        let replay_stats = Arc::new(ReplayStats::default());
+        let rec_ring = telemetry.as_ref().map(|t| Arc::clone(&t.recovery_ring));
 
-        let t_meta = Instant::now();
+        let t_meta = dstore_telemetry::now_ns();
         // Step 1: redo the interrupted checkpoint on the old shadow image.
         if let Some(redo) = &plan.redo_records {
             let t0 = dstore_telemetry::now_ns();
-            let applier = make_applier(&pool, layout, dir);
+            let applier = make_applier(
+                &pool,
+                layout,
+                dir,
+                cfg.replay_threads,
+                Arc::clone(&replay_stats),
+                rec_ring.clone(),
+            );
             let stats = dstore_dipper::CheckpointStats::default();
             let ckpt_tel = telemetry.as_ref().map(|t| t.ckpt.clone());
             apply_checkpoint(
@@ -767,6 +814,7 @@ impl DStore {
                 redo,
                 &stats,
                 ckpt_tel.as_ref(),
+                cfg.replay_threads,
             );
             report.redo_checkpoint = true;
             report.redo_records = redo.len();
@@ -785,21 +833,24 @@ impl DStore {
         let dram = Arc::new(Arena::create(DramMemory::new(layout.shadow_size)));
         pool.bulk_read_charge(shadow.allocated_len());
         shadow.copy_allocated_to(&dram);
-        report.metadata_ns = t_meta.elapsed().as_nanos() as u64;
+        report.metadata_ns = dstore_telemetry::now_ns().saturating_sub(t_meta);
         rec_span("copy", t_copy, shadow.allocated_len() as u64, 0);
 
-        // Step 3: replay committed active-log records as new requests.
-        let t_replay = Instant::now();
-        let t_rp = dstore_telemetry::now_ns();
-        {
-            let domain = Domain::attach(&dram, dir);
-            for r in &plan.replay_records {
-                domain.replay(r);
-            }
-            report.replayed_records = plan.replay_records.len();
-        }
-        report.replay_ns = t_replay.elapsed().as_nanos() as u64;
-        rec_span("replay", t_rp, 0, plan.replay_records.len() as u64);
+        // Step 3: replay committed active-log records as new requests,
+        // through the same OE-parallel engine the checkpoint applier
+        // uses (`replay_threads = 1` restores the serial path).
+        let t_replay = dstore_telemetry::now_ns();
+        replay::replay_window(
+            &dram,
+            dir,
+            &plan.replay_records,
+            cfg.replay_threads,
+            &replay_stats,
+            rec_ring.as_deref(),
+        );
+        report.replayed_records = plan.replay_records.len();
+        report.replay_ns = dstore_telemetry::now_ns().saturating_sub(t_replay);
+        rec_span("replay", t_replay, 0, plan.replay_records.len() as u64);
 
         // Step 4: resume — volatile log state, fresh CC state.
         let mut log = plan.finish(Arc::clone(&pool), layout);
@@ -808,7 +859,17 @@ impl DStore {
         let log = Arc::new(log);
         Ok(Self {
             inner: Self::assemble(
-                cfg, layout, pool, ssd, root, log, dram, dir, report, telemetry,
+                cfg,
+                layout,
+                pool,
+                ssd,
+                root,
+                log,
+                dram,
+                dir,
+                report,
+                replay_stats,
+                telemetry,
             ),
         })
     }

@@ -29,9 +29,12 @@
 use crate::error::{DsError, DsResult};
 use crate::ops::{self, ExtendParams, PhysImage, PutParams};
 use dstore_arena::{Arena, ArenaPod, Memory, RelPtr};
-use dstore_dipper::record::OwnedRecord;
+use dstore_dipper::record::{self, OwnedRecord};
 use dstore_dipper::OP_NOOP;
 use dstore_index::{fnv1a, BTreeHandle, BTreeHeader};
+use parking_lot::RwLock;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Upper bound on block-pool shards (a `Directory` sanity limit; the
 /// config validates the same range).
@@ -182,15 +185,77 @@ pub struct DeletePlan {
     pub freed: Vec<u64>,
 }
 
+/// How a [`Domain`] call synchronizes B-tree access against other
+/// domains bound to the same arena.
+///
+/// The frontend and serial replay run inside their own critical sections
+/// and pass [`IndexSync::Exclusive`] (no locking here). OE-parallel
+/// replay workers each own disjoint pool shards — their pool and
+/// metadata-entry accesses never collide — but they share one B-tree,
+/// so lookups ride a shared `read` lock and structural mutations
+/// (insert/remove, which may split or merge nodes) take it `write`.
+/// Write-lock *hold* time is charged to `write_ns`: the sum across
+/// workers is the replay's irreducibly serialized portion, the
+/// admission-rate denominator the fig13 bench reports.
+pub enum IndexSync<'l> {
+    /// Caller already has exclusive access (frontend critical section,
+    /// single-threaded replay).
+    Exclusive,
+    /// Concurrent distinct-shard replay: B-tree reads share `lock`,
+    /// structural mutations take it exclusively.
+    Shared {
+        /// The B-tree lock shared by every worker of one replay window.
+        lock: &'l RwLock<()>,
+        /// Accumulated write-lock hold time (ns) across workers.
+        write_ns: &'l AtomicU64,
+    },
+}
+
+impl IndexSync<'_> {
+    /// Runs `f` with the B-tree readable (and not being restructured).
+    #[inline]
+    fn read<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self {
+            IndexSync::Exclusive => f(),
+            IndexSync::Shared { lock, .. } => {
+                let _g = lock.read();
+                f()
+            }
+        }
+    }
+
+    /// Runs `f` with the B-tree exclusively held, charging the hold
+    /// time (not the wait time — that would double-count contention).
+    #[inline]
+    fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self {
+            IndexSync::Exclusive => f(),
+            IndexSync::Shared { lock, write_ns } => {
+                let _g = lock.write();
+                let t = std::time::Instant::now();
+                let r = f();
+                write_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                r
+            }
+        }
+    }
+}
+
 /// One control-plane domain: the structures of [`Directory`] bound to the
 /// arena they live in.
 ///
 /// Synchronization is the *caller's* job (the store wraps plan calls in
 /// the pool lock and install calls in the B-tree lock; replay is
-/// single-threaded per domain).
+/// single-threaded per domain, or sharded across domains with
+/// [`IndexSync::Shared`] guarding the B-tree).
 pub struct Domain<'a, M: Memory> {
     arena: &'a Arena<M>,
     dir: RelPtr<Directory>,
+    /// Whether a pool pop since the last [`Domain::take_stole`] came from
+    /// a foreign shard. `Cell` (not atomic) on purpose: it also makes
+    /// `Domain` `!Sync`, so a domain can never be shared across replay
+    /// workers by accident — each worker attaches its own.
+    stole: Cell<bool>,
 }
 
 impl<'a, M: Memory> Domain<'a, M> {
@@ -259,7 +324,11 @@ impl<'a, M: Memory> Domain<'a, M> {
             d.pages_per_block = pages_per_block;
             d.pool_shards = nshards;
         }
-        Self { arena, dir }
+        Self {
+            arena,
+            dir,
+            stole: Cell::new(false),
+        }
     }
 
     /// SSD pages per allocation block.
@@ -280,7 +349,11 @@ impl<'a, M: Memory> Domain<'a, M> {
 
     /// Binds to an existing directory (shadow replay, recovery).
     pub fn attach(arena: &'a Arena<M>, dir: RelPtr<Directory>) -> Self {
-        Self { arena, dir }
+        Self {
+            arena,
+            dir,
+            stole: Cell::new(false),
+        }
     }
 
     /// The directory's arena offset (stored in the PMEM root).
@@ -408,11 +481,24 @@ impl<'a, M: Memory> Domain<'a, M> {
         let mut s = own;
         while (out.len() as u64) < n {
             match self.shard_pop(s) {
-                Some(b) => out.push(b),
+                Some(b) => {
+                    if s != own {
+                        self.stole.set(true);
+                    }
+                    out.push(b);
+                }
                 None => s = (s + 1) % ns,
             }
         }
         Ok(out)
+    }
+
+    /// Whether any pop since the last call came from a foreign shard,
+    /// clearing the flag. The frontend checks this after planning and
+    /// stamps [`record::OP_STEAL_FLAG`] on the record, which is what
+    /// demotes the record's checkpoint window to serial replay.
+    pub fn take_stole(&self) -> bool {
+        self.stole.replace(false)
     }
 
     /// Reads the next `n` blocks [`Domain::pop_n_in`] would pop for
@@ -550,8 +636,21 @@ impl<'a, M: Memory> Domain<'a, M> {
     /// shard lock, escalating to all locks + `true` on
     /// [`DsError::ShardStarved`].
     pub fn plan_put_in(&self, name: &[u8], size: u64, allow_steal: bool) -> DsResult<PutPlan> {
+        self.plan_put_sync(name, size, allow_steal, &IndexSync::Exclusive)
+    }
+
+    /// [`Domain::plan_put_in`] under an explicit B-tree sync mode (the
+    /// parallel-replay entry point; pool access needs no extra sync —
+    /// the caller owns the name's shard).
+    pub fn plan_put_sync(
+        &self,
+        name: &[u8],
+        size: u64,
+        allow_steal: bool,
+        sync: &IndexSync<'_>,
+    ) -> DsResult<PutPlan> {
         let need = blocks_for_geometry(size, self.block_bytes());
-        match self.lookup(name) {
+        match sync.read(|| self.lookup(name)) {
             Some(e) => {
                 // SAFETY: CC guarantees no concurrent writer on `name`.
                 let (_, _, old_blocks) = self.read_entry(e);
@@ -595,7 +694,19 @@ impl<'a, M: Memory> Domain<'a, M> {
         len: u64,
         allow_steal: bool,
     ) -> DsResult<ExtendPlan> {
-        let e = self.lookup(name).ok_or(DsError::NotFound)?;
+        self.plan_extend_sync(name, offset, len, allow_steal, &IndexSync::Exclusive)
+    }
+
+    /// [`Domain::plan_extend_in`] under an explicit B-tree sync mode.
+    pub fn plan_extend_sync(
+        &self,
+        name: &[u8],
+        offset: u64,
+        len: u64,
+        allow_steal: bool,
+        sync: &IndexSync<'_>,
+    ) -> DsResult<ExtendPlan> {
+        let e = sync.read(|| self.lookup(name)).ok_or(DsError::NotFound)?;
         let (size, _, mut blocks) = self.read_entry(e);
         let new_size = size.max(offset + len);
         let need = blocks_for_geometry(new_size, self.block_bytes());
@@ -608,7 +719,12 @@ impl<'a, M: Memory> Domain<'a, M> {
     /// the name's shard (pushes always land in the freeing name's shard,
     /// so an op touches no shard but its own unless it steals).
     pub fn plan_delete(&self, name: &[u8]) -> DsResult<DeletePlan> {
-        let e = self.lookup(name).ok_or(DsError::NotFound)?;
+        self.plan_delete_sync(name, &IndexSync::Exclusive)
+    }
+
+    /// [`Domain::plan_delete`] under an explicit B-tree sync mode.
+    pub fn plan_delete_sync(&self, name: &[u8], sync: &IndexSync<'_>) -> DsResult<DeletePlan> {
+        let e = sync.read(|| self.lookup(name)).ok_or(DsError::NotFound)?;
         let (_, _, blocks) = self.read_entry(e);
         let home = self.shard_of_name(name);
         for &b in &blocks {
@@ -620,11 +736,46 @@ impl<'a, M: Memory> Domain<'a, M> {
     // ------------------------------------------------------------------
     // install phase (metadata zone + B-tree; per-object, OE-parallel)
 
+    /// Adds signed deltas to the directory counters with atomic RMW ops.
+    /// The adds commute, so concurrent distinct-shard replay workers
+    /// reach the same final counters as any serial order — no lock, no
+    /// nondeterminism.
+    fn counters_add(&self, live: i64, bytes: i64) {
+        // SAFETY: directory live; `AtomicU64` has `u64`'s layout, and
+        // two's-complement wrapping makes `fetch_add` of a negative delta
+        // a subtraction.
+        unsafe {
+            let d = self.arena.resolve(self.dir);
+            if live != 0 {
+                (*(&raw mut (*d).live_objects as *const AtomicU64))
+                    .fetch_add(live as u64, Ordering::Relaxed);
+            }
+            if bytes != 0 {
+                (*(&raw mut (*d).data_bytes as *const AtomicU64))
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Installs a planned put: creates or updates the metadata entry and
     /// the B-tree mapping. Caller holds the B-tree lock (frontend) or is
     /// the replay thread.
     pub fn install_put(&self, name: &[u8], size: u64, plan: &PutPlan, lsn: u64) {
-        let (old_size, entry) = match self.lookup(name) {
+        self.install_put_sync(name, size, plan, lsn, &IndexSync::Exclusive)
+    }
+
+    /// [`Domain::install_put`] under an explicit B-tree sync mode: only
+    /// the lookup and the (rare) insert touch shared tree structure; the
+    /// entry itself is object-exclusive and updated outside any lock.
+    pub fn install_put_sync(
+        &self,
+        name: &[u8],
+        size: u64,
+        plan: &PutPlan,
+        lsn: u64,
+        sync: &IndexSync<'_>,
+    ) {
+        let (old_size, entry) = match sync.read(|| self.lookup(name)) {
             Some(e) => {
                 // SAFETY: CC excludes concurrent writers on this object.
                 let s = unsafe { (*self.arena.resolve(e)).size };
@@ -632,7 +783,7 @@ impl<'a, M: Memory> Domain<'a, M> {
             }
             None => {
                 let e: RelPtr<MetaEntry> = self.arena.alloc();
-                self.btree().insert(name, e.offset());
+                sync.write(|| self.btree().insert(name, e.offset()));
                 (0, e)
             }
         };
@@ -645,46 +796,63 @@ impl<'a, M: Memory> Domain<'a, M> {
             m.size = size;
             m.version += 1;
             m.mtime_lsn = lsn;
-            let d = &mut *self.arena.resolve(self.dir);
-            if plan.kind == PutKind::Create {
-                d.live_objects += 1;
-            }
-            d.data_bytes = d.data_bytes + size - old_size;
         }
+        self.counters_add(
+            (plan.kind == PutKind::Create) as i64,
+            size as i64 - old_size as i64,
+        );
     }
 
     /// Installs a planned extension.
     pub fn install_extend(&self, name: &[u8], plan: &ExtendPlan, lsn: u64) {
-        let e = self.lookup(name).expect("extend of existing object");
+        self.install_extend_sync(name, plan, lsn, &IndexSync::Exclusive)
+    }
+
+    /// [`Domain::install_extend`] under an explicit B-tree sync mode
+    /// (extends never restructure the tree — read lock only).
+    pub fn install_extend_sync(
+        &self,
+        name: &[u8],
+        plan: &ExtendPlan,
+        lsn: u64,
+        sync: &IndexSync<'_>,
+    ) {
+        let e = sync
+            .read(|| self.lookup(name))
+            .expect("extend of existing object");
         // SAFETY: exclusive entry access via CC.
-        unsafe {
+        let old = unsafe {
             let old = (*self.arena.resolve(e)).size;
             self.entry_set_blocks(e, &plan.blocks);
             let m = &mut *self.arena.resolve(e);
             m.size = plan.new_size;
             m.version += 1;
             m.mtime_lsn = lsn;
-            let d = &mut *self.arena.resolve(self.dir);
-            d.data_bytes = d.data_bytes + plan.new_size - old;
-        }
+            old
+        };
+        self.counters_add(0, plan.new_size as i64 - old as i64);
     }
 
     /// Installs a delete: removes the entry and the B-tree mapping.
     pub fn install_delete(&self, name: &[u8]) {
-        let e = self
-            .lookup(name)
+        self.install_delete_sync(name, &IndexSync::Exclusive)
+    }
+
+    /// [`Domain::install_delete`] under an explicit B-tree sync mode.
+    pub fn install_delete_sync(&self, name: &[u8], sync: &IndexSync<'_>) {
+        let e = sync
+            .read(|| self.lookup(name))
             .expect("delete of existing object (planned)");
         // SAFETY: exclusive entry access via CC.
-        unsafe {
+        let old = unsafe {
             let old = (*self.arena.resolve(e)).size;
             // Free the overflow chain, then the entry itself.
             self.entry_set_blocks(e, &[]);
             self.arena.free(e);
-            self.btree().remove(name);
-            let d = &mut *self.arena.resolve(self.dir);
-            d.live_objects -= 1;
-            d.data_bytes -= old;
-        }
+            old
+        };
+        sync.write(|| self.btree().remove(name));
+        self.counters_add(-1, -(old as i64));
     }
 
     // ------------------------------------------------------------------
@@ -693,33 +861,45 @@ impl<'a, M: Memory> Domain<'a, M> {
     /// Applies one committed log record to this domain — the deterministic
     /// state machine of §3.2 ("each logical operation translates to a set
     /// of functions to be performed on each data structure … used by the
-    /// recovery logic to update the shadow copies").
+    /// recovery logic to update the shadow copies"). Single-threaded
+    /// replay: steals permitted, no B-tree locking.
     pub fn replay(&self, rec: &OwnedRecord) {
-        match rec.op {
+        self.replay_in(rec, true, &IndexSync::Exclusive)
+    }
+
+    /// [`Domain::replay`] with explicit steal permission and B-tree sync
+    /// mode — the OE-parallel replay entry point. Workers replaying
+    /// disjoint shard groups pass `allow_steal = false` (a stolen
+    /// allocation in a supposedly steal-free window is a flag bug, and
+    /// the resulting `ShardStarved` panic surfaces it) plus a
+    /// [`IndexSync::Shared`] guarding the common B-tree. The record's
+    /// [`record::OP_STEAL_FLAG`] bit is masked off before dispatch.
+    pub fn replay_in(&self, rec: &OwnedRecord, allow_steal: bool, sync: &IndexSync<'_>) {
+        match record::op_code(rec.op) {
             OP_NOOP => {}
             ops::OP_PUT | ops::OP_TOUCH | ops::OP_CREATE => {
                 let p = PutParams::decode(&rec.params).expect("valid put params");
                 let plan = self
-                    .plan_put(&rec.name, p.size)
+                    .plan_put_sync(&rec.name, p.size, allow_steal, sync)
                     .expect("replay allocation mirrors frontend");
-                self.install_put(&rec.name, p.size, &plan, rec.lsn);
+                self.install_put_sync(&rec.name, p.size, &plan, rec.lsn, sync);
             }
             ops::OP_EXTEND => {
                 let p = ExtendParams::decode(&rec.params).expect("valid extend params");
                 let plan = self
-                    .plan_extend(&rec.name, p.offset, p.len)
+                    .plan_extend_sync(&rec.name, p.offset, p.len, allow_steal, sync)
                     .expect("replay extension mirrors frontend");
-                self.install_extend(&rec.name, &plan, rec.lsn);
+                self.install_extend_sync(&rec.name, &plan, rec.lsn, sync);
             }
             ops::OP_DELETE => {
-                self.plan_delete(&rec.name)
+                self.plan_delete_sync(&rec.name, sync)
                     .expect("replay delete mirrors frontend");
-                self.install_delete(&rec.name);
+                self.install_delete_sync(&rec.name, sync);
             }
             ops::OP_PHYS_INSTALL => {
                 let img = PhysImage::decode(&rec.params).expect("valid phys image");
                 let popped = self
-                    .pop_n_in(&rec.name, img.pops as u64, true)
+                    .pop_n_in(&rec.name, img.pops as u64, allow_steal)
                     .expect("phys replay pool pop");
                 if img.pops > 0 {
                     debug_assert_eq!(
@@ -732,7 +912,7 @@ impl<'a, M: Memory> Domain<'a, M> {
                     self.shard_push(home, b);
                 }
                 let plan = PutPlan {
-                    kind: if self.lookup(&rec.name).is_some() {
+                    kind: if sync.read(|| self.lookup(&rec.name)).is_some() {
                         if img.pops == 0 && img.pushes.is_empty() {
                             PutKind::Touch
                         } else {
@@ -744,7 +924,7 @@ impl<'a, M: Memory> Domain<'a, M> {
                     blocks: img.blocks.clone(),
                     freed: img.pushes.clone(),
                 };
-                self.install_put(&rec.name, img.size, &plan, rec.lsn);
+                self.install_put_sync(&rec.name, img.size, &plan, rec.lsn, sync);
             }
             ops::OP_PHYS_DELETE => {
                 let img = PhysImage::decode(&rec.params).expect("valid phys image");
@@ -752,7 +932,7 @@ impl<'a, M: Memory> Domain<'a, M> {
                 for &b in &img.pushes {
                     self.shard_push(home, b);
                 }
-                self.install_delete(&rec.name);
+                self.install_delete_sync(&rec.name, sync);
             }
             other => panic!("unknown op code {other} in log"),
         }

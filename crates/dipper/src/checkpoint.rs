@@ -27,9 +27,12 @@ use dstore_arena::{Arena, PmemRange};
 use dstore_pmem::PmemPool;
 use dstore_telemetry::{now_ns, Counter, PhaseCell, SpanRing};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+
+/// Smallest per-thread unit of the chunked shadow copy / flush. Below
+/// this, thread spawn overhead dominates and the work stays serial.
+const CHUNK_MIN: usize = 1 << 20;
 
 /// Phase-name table for the checkpoint [`PhaseCell`]; index 0 is idle.
 pub static CHECKPOINT_PHASES: &[&str] = &["idle", "trigger", "apply", "flush", "swap"];
@@ -109,6 +112,9 @@ struct CheckpointInner {
     /// Test-only injection: extra nanoseconds spun inside the flush
     /// phase of every checkpoint (0 = none).
     flush_stall_ns: AtomicU64,
+    /// Worker threads for the apply phase's chunked shadow copy and
+    /// chunked flush (1 = serial, the pre-parallel behavior).
+    apply_threads: AtomicUsize,
 }
 
 impl Checkpointer {
@@ -133,6 +139,7 @@ impl Checkpointer {
             telemetry: Mutex::new(None),
             tx: Mutex::new(Some(tx)),
             flush_stall_ns: AtomicU64::new(0),
+            apply_threads: AtomicUsize::new(1),
         });
         let w_inner = Arc::clone(&inner);
         let worker = std::thread::Builder::new()
@@ -180,6 +187,16 @@ impl Checkpointer {
     /// spans into them. Intended to be called once at store assembly.
     pub fn set_telemetry(&self, t: CheckpointTelemetry) {
         *self.inner.telemetry.lock() = Some(t);
+    }
+
+    /// Sets the worker-thread count for the apply phase's chunked shadow
+    /// copy and chunked flush (clamped to ≥ 1; 1 = serial). Intended to
+    /// be called once at store assembly, from the same knob that sizes
+    /// the applier's replay workers.
+    pub fn set_apply_threads(&self, threads: usize) {
+        self.inner
+            .apply_threads
+            .store(threads.max(1), Ordering::Relaxed);
     }
 
     /// Test-only injection: spin for `ns` nanoseconds inside the flush
@@ -292,8 +309,32 @@ impl CheckpointInner {
             &self.stats,
             tel.as_ref(),
             self.flush_stall_ns.load(Ordering::Relaxed),
+            self.apply_threads.load(Ordering::Relaxed),
         );
     }
+}
+
+/// Splits `[0, len)` into up-to-`threads` page-aligned chunks and runs
+/// `work(offset, chunk_len)` on scoped threads, one chunk per thread.
+/// Falls back to one inline call when the range is too small to be worth
+/// splitting (see [`CHUNK_MIN`]) or `threads <= 1`.
+fn run_chunked(len: usize, threads: usize, work: impl Fn(usize, usize) + Sync) {
+    let chunk = len.div_ceil(threads.max(1)).max(CHUNK_MIN);
+    // Page-align chunk boundaries so no two threads share a cache line.
+    let chunk = chunk.div_ceil(4096) * 4096;
+    if threads <= 1 || chunk >= len {
+        work(0, len);
+        return;
+    }
+    std::thread::scope(|s| {
+        let work = &work;
+        let mut off = 0;
+        while off < len {
+            let n = chunk.min(len - off);
+            s.spawn(move || work(off, n));
+            off += n;
+        }
+    });
 }
 
 /// The apply phase, shared by live checkpoints and recovery redo (§3.6:
@@ -301,7 +342,9 @@ impl CheckpointInner {
 ///
 /// Copies shadow `current` → `spare`, replays `records` onto the spare
 /// via `applier`, persists every allocated byte, and atomically commits
-/// the root transition.
+/// the root transition. The bulk copy and the flush are chunked across
+/// up to `threads` scoped workers (1 = serial).
+#[allow(clippy::too_many_arguments)]
 pub fn apply_checkpoint(
     pool: &Arc<PmemPool>,
     layout: &PmemLayout,
@@ -310,8 +353,11 @@ pub fn apply_checkpoint(
     records: &[OwnedRecord],
     stats: &CheckpointStats,
     telemetry: Option<&CheckpointTelemetry>,
+    threads: usize,
 ) {
-    apply_checkpoint_with_stall(pool, layout, root, applier, records, stats, telemetry, 0);
+    apply_checkpoint_with_stall(
+        pool, layout, root, applier, records, stats, telemetry, 0, threads,
+    );
 }
 
 /// [`apply_checkpoint`] with a test-only flush-phase stall (see
@@ -326,8 +372,9 @@ fn apply_checkpoint_with_stall(
     stats: &CheckpointStats,
     telemetry: Option<&CheckpointTelemetry>,
     flush_stall_ns: u64,
+    threads: usize,
 ) {
-    let t0 = Instant::now();
+    let t0 = now_ns();
     let enter = |idx: usize| {
         if let Some(t) = telemetry {
             t.phase.set(idx);
@@ -355,15 +402,23 @@ fn apply_checkpoint_with_stall(
     .expect("current shadow holds a valid arena");
     let dst_range = PmemRange::new(Arc::clone(pool), layout.shadow[spare], layout.shadow_size);
     let copy_len = src.allocated_len();
-    pool.bulk_read_charge(copy_len); // reading the source region
-                                     // SAFETY: both regions are `shadow_size` bytes and disjoint.
-    unsafe {
-        std::ptr::copy_nonoverlapping(
-            pool.base().add(layout.shadow[cur]),
-            pool.base().add(layout.shadow[spare]),
-            copy_len,
-        );
-    }
+    // Chunked multi-threaded copy: each worker copies (and charges read
+    // bandwidth for) a disjoint page-aligned slice of the allocated
+    // prefix. Base addresses travel as integers — raw pointers are not
+    // `Send`, and every `(off, n)` chunk is in-bounds and disjoint.
+    let src_base = pool.base() as usize + layout.shadow[cur];
+    let dst_base = pool.base() as usize + layout.shadow[spare];
+    run_chunked(copy_len, threads, |off, n| {
+        pool.bulk_read_charge(n); // reading the source region
+                                  // SAFETY: both regions are `shadow_size` bytes and disjoint.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                (src_base + off) as *const u8,
+                (dst_base + off) as *mut u8,
+                n,
+            );
+        }
+    });
     stats
         .bytes_copied
         .fetch_add(copy_len as u64, Ordering::Relaxed);
@@ -382,8 +437,16 @@ fn apply_checkpoint_with_stall(
         dstore_pmem::latency::spin_for_ns(flush_stall_ns);
     }
     let dst = Arena::attach(dst_range).expect("copied shadow is a valid arena");
-    dst.persist_allocated();
-    span("flush", t_flush, dst.allocated_len() as u64, 0);
+    // Chunked parallel flush: per-chunk bulk persists on scoped workers,
+    // one fence at the end (`bulk_persist` deliberately skips the
+    // pending set, so a single trailing fence suffices — same contract
+    // `persist_allocated` relies on).
+    let flush_len = dst.allocated_len();
+    run_chunked(flush_len, threads, |off, n| {
+        pool.bulk_persist(layout.shadow[spare] + off, n);
+    });
+    pool.fence();
+    span("flush", t_flush, flush_len as u64, 0);
 
     // 4. Atomic commit: flip current shadow, clear in-progress — one
     //    persisted 8-byte store.
@@ -397,76 +460,30 @@ fn apply_checkpoint_with_stall(
     stats.completed.fetch_add(1, Ordering::Relaxed);
     stats
         .last_apply_ns
-        .store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-}
-
-/// Groups records by object-name hash for OE-parallel replay: records on
-/// distinct objects commute (§3.7), so each group can be applied on its
-/// own thread while order *within* a group (same object, possibly via
-/// hash collision) is preserved.
-pub fn group_by_object(records: &[OwnedRecord], groups: usize) -> Vec<Vec<&OwnedRecord>> {
-    let groups = groups.max(1);
-    let mut out: Vec<Vec<&OwnedRecord>> = (0..groups).map(|_| Vec::new()).collect();
-    for r in records {
-        let g = (crate::record::name_hash(&r.name) as usize) % groups;
-        out[g].push(r);
-    }
-    out
+        .store(now_ns().saturating_sub(t0), Ordering::Relaxed);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::name_hash;
 
-    fn rec(name: &str, lsn: u64) -> OwnedRecord {
-        OwnedRecord {
-            lsn,
-            op: 1,
-            commit: crate::record::COMMIT_COMMITTED,
-            name: name.as_bytes().to_vec(),
-            params: vec![],
-            off: 0,
-        }
-    }
-
+    /// `run_chunked` must cover `[0, len)` exactly once, serial or not.
     #[test]
-    fn grouping_preserves_per_object_order() {
-        let records: Vec<OwnedRecord> = (0..100)
-            .map(|i| rec(&format!("obj{}", i % 7), i + 1))
-            .collect();
-        let groups = group_by_object(&records, 4);
-        assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), 100);
-        for g in &groups {
-            // Same-object records stay in LSN (conflict) order.
-            let mut last: std::collections::HashMap<&[u8], u64> = Default::default();
-            for r in g {
-                if let Some(&prev) = last.get(r.name.as_slice()) {
-                    assert!(r.lsn > prev, "order violated within group");
-                }
-                last.insert(&r.name, r.lsn);
+    fn chunking_covers_range_exactly() {
+        for (len, threads) in [(0usize, 4), (100, 1), (CHUNK_MIN - 1, 4), (7 << 20, 4)] {
+            let covered = std::sync::Mutex::new(vec![]);
+            run_chunked(len, threads, |off, n| {
+                covered.lock().unwrap().push((off, n))
+            });
+            let mut chunks = covered.into_inner().unwrap();
+            chunks.sort_unstable();
+            let total: usize = chunks.iter().map(|&(_, n)| n).sum();
+            assert_eq!(total, len);
+            let mut next = 0;
+            for (off, n) in chunks {
+                assert_eq!(off, next, "chunks must be contiguous and disjoint");
+                next = off + n;
             }
         }
-        // All records of one object land in one group.
-        for i in 0..7 {
-            let name = format!("obj{i}");
-            let g = (name_hash(name.as_bytes()) as usize) % 4;
-            for (gi, grp) in groups.iter().enumerate() {
-                let here = grp.iter().filter(|r| r.name == name.as_bytes()).count();
-                if gi == g {
-                    assert!(here > 0);
-                } else {
-                    assert_eq!(here, 0);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn grouping_handles_degenerate_group_counts() {
-        let records = vec![rec("a", 1), rec("b", 2)];
-        assert_eq!(group_by_object(&records, 0).len(), 1);
-        let g = group_by_object(&records, 16);
-        assert_eq!(g.iter().map(|v| v.len()).sum::<usize>(), 2);
     }
 }

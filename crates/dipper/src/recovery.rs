@@ -58,26 +58,13 @@ pub fn recover_scan(pool: &Arc<PmemPool>, layout: &PmemLayout, root: &Root) -> R
     let archived = state.archived_log();
     let active = state.active_log;
 
-    let archived_walk = scan.walk(archived);
-    let active_walk = scan.walk(active);
-
-    let redo_records = if state.checkpoint_in_progress {
-        Some(
-            archived_walk
-                .iter()
-                .filter(|r| r.commit == COMMIT_COMMITTED)
-                .cloned()
-                .collect(),
-        )
-    } else {
-        None
-    };
-
-    let replay_records: Vec<OwnedRecord> = active_walk
-        .iter()
-        .filter(|r| r.commit == COMMIT_COMMITTED)
-        .cloned()
-        .collect();
+    // The two log buffers are disjoint PMEM regions, so their walks are
+    // independent reads — run them concurrently.
+    let (archived_walk, active_walk) = std::thread::scope(|s| {
+        let h = s.spawn(|| scan.walk(archived));
+        let active_walk = scan.walk(active);
+        (h.join().expect("archived-log walk panicked"), active_walk)
+    });
 
     let active_tail = active_walk
         .last()
@@ -95,6 +82,21 @@ pub fn recover_scan(pool: &Arc<PmemPool>, layout: &PmemLayout, root: &Root) -> R
         .map(|r| r.lsn)
         .max()
         .unwrap_or(0);
+
+    // Consume the walks by value: the committed subsets are the records
+    // themselves, not clones (these vectors hold every object name and
+    // param blob of a full log buffer).
+    let redo_records = state.checkpoint_in_progress.then(|| {
+        archived_walk
+            .into_iter()
+            .filter(|r| r.commit == COMMIT_COMMITTED)
+            .collect()
+    });
+
+    let replay_records: Vec<OwnedRecord> = active_walk
+        .into_iter()
+        .filter(|r| r.commit == COMMIT_COMMITTED)
+        .collect();
     let min0 = pool.read_u64(layout.log[0]);
     let min1 = pool.read_u64(layout.log[1]);
     let headroom = (layout.log_size / HEADER_LEN) as u64;

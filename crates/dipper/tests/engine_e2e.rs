@@ -4,7 +4,7 @@
 //! crashes — exercising the full §3 machinery without DStore on top.
 
 use dstore_arena::{Arena, DramMemory, Memory, PmemRange, RelPtr};
-use dstore_dipper::checkpoint::{apply_checkpoint, group_by_object, Applier};
+use dstore_dipper::checkpoint::{apply_checkpoint, Applier};
 use dstore_dipper::record::OwnedRecord;
 use dstore_dipper::{
     recover_scan, CheckpointStats, Checkpointer, DipperConfig, OpLog, PmemLayout, Root,
@@ -192,6 +192,7 @@ fn crash_mid_checkpoint_redo_produces_same_image() {
         &redo,
         &stats,
         None,
+        2,
     );
     let st = mini.root.state();
     assert!(!st.checkpoint_in_progress);
@@ -398,7 +399,12 @@ fn oe_parallel_replay_matches_serial() {
 
     let parallel = Arena::create(DramMemory::new(1 << 20));
     let pdir: RelPtr<CounterDir> = parallel.alloc();
-    let groups = group_by_object(&records, 8);
+    // Group by name hash — the same stable-partition idea DStore's
+    // OE-parallel applier uses (there: `fnv1a(name) % pool_shards`).
+    let mut groups: Vec<Vec<&OwnedRecord>> = (0..8).map(|_| Vec::new()).collect();
+    for r in &records {
+        groups[(dstore_dipper::record::name_hash(&r.name) as usize) % 8].push(r);
+    }
     let par_ref = &parallel;
     std::thread::scope(|s| {
         for g in &groups {

@@ -159,6 +159,14 @@ impl ShardedStore {
     /// Recovery is rejected with [`DsError::ShardMismatch`] if the image
     /// count disagrees with the persisted shard count, seeds differ
     /// across shards, or two images claim the same index.
+    ///
+    /// This composes two levels of parallelism: rayon fans the shards
+    /// out here, and *within* each shard recovery replays its log
+    /// OE-parallel across `replay_threads` workers (DESIGN.md §6d).
+    /// For a many-shard fleet on a small host, consider pinning each
+    /// shard's [`DStoreConfig::replay_threads`] down (or
+    /// `DSTORE_REPLAY_THREADS=1`) so the multiplied worker count does
+    /// not oversubscribe the machine.
     pub fn recover(images: Vec<CrashImage>, scheduler: SchedulerConfig) -> DsResult<Self> {
         if images.is_empty() {
             return Err(DsError::ShardMismatch("no shard images".into()));
