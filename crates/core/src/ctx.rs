@@ -26,7 +26,7 @@ use dstore_dipper::log::{AppendResult, LogFull};
 use dstore_dipper::OP_NOOP;
 use dstore_telemetry::trace::{
     ActiveTrace, SEG_ALLOC, SEG_CC_WAIT, SEG_COMMIT, SEG_INDEX, SEG_LOG_APPEND, SEG_LOG_FLUSH,
-    SEG_LOG_STALL, SEG_LOOKUP, SEG_SSD_READ, SEG_SSD_WRITE,
+    SEG_LOG_STALL, SEG_LOOKUP, SEG_NET_QUEUE, SEG_SSD_READ, SEG_SSD_WRITE,
 };
 use dstore_telemetry::{now_ns, LatencyHistogram};
 use std::sync::atomic::Ordering;
@@ -39,6 +39,22 @@ use std::sync::Arc;
 /// write breakdown).
 #[inline]
 fn op_begin(inner: &StoreInner, op: &'static str, force_clock: bool) -> (u64, ActiveTrace) {
+    op_begin_enqueued(inner, op, force_clock, 0)
+}
+
+/// [`op_begin`] for an operation that spent time queued upstream (the
+/// `dstore-server` shard queues): a nonzero `enqueue_ns` (in
+/// [`now_ns`] time) backdates the trace to admission and charges the
+/// wait to the `net_queue` segment, so Table-3 tail attribution covers
+/// the network path. The latency histograms still measure execution
+/// only (`t0` → completion); the SLO cut sees the full residency.
+#[inline]
+fn op_begin_enqueued(
+    inner: &StoreInner,
+    op: &'static str,
+    force_clock: bool,
+    enqueue_ns: u64,
+) -> (u64, ActiveTrace) {
     let Some(tel) = inner.telemetry.as_deref() else {
         let t0 = if force_clock { now_ns() } else { 0 };
         return (t0, ActiveTrace::disabled());
@@ -46,7 +62,19 @@ fn op_begin(inner: &StoreInner, op: &'static str, force_clock: bool) -> (u64, Ac
     let t0 = now_ns();
     let at = match &tel.trace {
         Some(tr) => {
-            let mut at = ActiveTrace::start(op, tr.sampler.arm(), t0);
+            let start = if enqueue_ns != 0 {
+                enqueue_ns.min(t0)
+            } else {
+                t0
+            };
+            let mut at = ActiveTrace::start(op, tr.sampler.arm(), start);
+            if enqueue_ns != 0 {
+                // charge_at, not mark_at: both timestamps are already
+                // in hand, so even an *unarmed* op records its queue
+                // wait — an SLO-retained outlier then shows net_queue
+                // vs. unattributed instead of a blank breakdown.
+                at.charge_at(SEG_NET_QUEUE, t0);
+            }
             // One relaxed load: lets a retained trace attribute itself
             // to a checkpoint that ends mid-op (see op_end).
             at.set_start_phase(tel.ckpt.phase.name());
@@ -173,13 +201,21 @@ impl DsContext {
     /// Stores `value` under `key` (the paper's `oput`), creating or
     /// replacing the object. Durable on return.
     pub fn put(&self, key: &[u8], value: &[u8]) -> DsResult<()> {
-        self.put_timed(key, value, None)
+        self.put_timed(key, value, None, 0)
+    }
+
+    /// [`DsContext::put`] for a request that was queued upstream since
+    /// `enqueue_ns` ([`dstore_telemetry::now_ns`] time): the wait is
+    /// charged to the trace's `net_queue` segment. Semantically
+    /// identical to [`DsContext::put`]; `0` disables the backdating.
+    pub fn put_enqueued(&self, key: &[u8], value: &[u8], enqueue_ns: u64) -> DsResult<()> {
+        self.put_timed(key, value, None, enqueue_ns)
     }
 
     /// [`DsContext::put`] with a Table 3 write-path breakdown.
     pub fn put_instrumented(&self, key: &[u8], value: &[u8]) -> DsResult<WriteBreakdown> {
         let mut bd = WriteBreakdown::default();
-        self.put_timed(key, value, Some(&mut bd))?;
+        self.put_timed(key, value, Some(&mut bd), 0)?;
         Ok(bd)
     }
 
@@ -188,11 +224,12 @@ impl DsContext {
         key: &[u8],
         value: &[u8],
         mut bd: Option<&mut WriteBreakdown>,
+        enqueue_ns: u64,
     ) -> DsResult<()> {
         Self::check_name(key)?;
         let inner = &self.inner;
         let size = value.len() as u64;
-        let (t0, mut at) = op_begin(inner, "put", bd.is_some());
+        let (t0, mut at) = op_begin_enqueued(inner, "put", bd.is_some(), enqueue_ns);
 
         let (handle, lsn, plan) = self.mutate_plan(
             key,
@@ -245,9 +282,15 @@ impl DsContext {
 
     /// Fetches the object stored under `key` (the paper's `oget`).
     pub fn get(&self, key: &[u8]) -> DsResult<Vec<u8>> {
+        self.get_enqueued(key, 0)
+    }
+
+    /// [`DsContext::get`] for a request queued upstream since
+    /// `enqueue_ns` — see [`DsContext::put_enqueued`].
+    pub fn get_enqueued(&self, key: &[u8], enqueue_ns: u64) -> DsResult<Vec<u8>> {
         Self::check_name(key)?;
         let inner = &self.inner;
-        let (t0, mut at) = op_begin(inner, "get", false);
+        let (t0, mut at) = op_begin_enqueued(inner, "get", false, enqueue_ns);
         let _drain = inner.drain.read();
         loop {
             // Read-write CC (§4.4): register as a reader, then back off if
@@ -277,9 +320,15 @@ impl DsContext {
 
     /// Removes the object under `key` (the paper's `odelete`).
     pub fn delete(&self, key: &[u8]) -> DsResult<()> {
+        self.delete_enqueued(key, 0)
+    }
+
+    /// [`DsContext::delete`] for a request queued upstream since
+    /// `enqueue_ns` — see [`DsContext::put_enqueued`].
+    pub fn delete_enqueued(&self, key: &[u8], enqueue_ns: u64) -> DsResult<()> {
         Self::check_name(key)?;
         let inner = &self.inner;
-        let (t0, mut at) = op_begin(inner, "delete", false);
+        let (t0, mut at) = op_begin_enqueued(inner, "delete", false, enqueue_ns);
         let (handle, _lsn, _plan) = self.mutate_plan(
             key,
             |d, log_mode| match log_mode {

@@ -36,8 +36,18 @@ pub enum DsError {
     /// operation holding every shard lock (which makes stealing
     /// deterministic); this value never reaches the public API.
     ShardStarved,
-    /// Underlying device error (file-backed pools).
+    /// Underlying device error (file-backed pools) or a network
+    /// transport failure (`dstore-protocol` client/server I/O).
     Io(String),
+    /// A malformed wire frame: bad magic/opcode, a length field
+    /// exceeding the protocol limits, truncated or trailing bytes, or
+    /// an undecodable payload. Surfaced by `dstore-protocol` instead of
+    /// ever panicking on untrusted input.
+    Protocol(String),
+    /// The server's bounded per-shard queue is full; the request was
+    /// rejected instead of buffered. Retry after backoff — acknowledged
+    /// operations are never dropped, `Busy` is refused admission.
+    Busy,
 }
 
 impl fmt::Display for DsError {
@@ -58,6 +68,8 @@ impl fmt::Display for DsError {
                 write!(f, "block-pool shard starved (internal retry signal)")
             }
             DsError::Io(e) => write!(f, "io error: {e}"),
+            DsError::Protocol(e) => write!(f, "protocol error: {e}"),
+            DsError::Busy => write!(f, "server busy: shard queue full, retry after backoff"),
         }
     }
 }
@@ -88,5 +100,53 @@ mod tests {
         .contains("10 > 4"));
         let io: DsError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
+    }
+
+    /// Every variant renders a stable, non-empty message. Wire clients
+    /// (`dstore-protocol`) surface these strings verbatim, so the
+    /// leading phrase of each is frozen API: extend, don't rewrite.
+    #[test]
+    fn every_variant_message_is_stable_and_non_empty() {
+        let cases: Vec<(DsError, &str)> = vec![
+            (DsError::NotFound, "object not found"),
+            (DsError::OutOfSpace, "SSD block pool exhausted"),
+            (DsError::OutOfMetadataSpace, "PMEM metadata space exhausted"),
+            (
+                DsError::OutOfRange {
+                    requested: 7,
+                    size: 3,
+                },
+                "access beyond object end",
+            ),
+            (DsError::NameTooLong(300), "object name too long"),
+            (
+                DsError::NotFormatted,
+                "pool does not contain a DStore instance",
+            ),
+            (DsError::BadMode, "object not opened for this access"),
+            (DsError::ReservedName, "object name uses a reserved prefix"),
+            (
+                DsError::ShardMismatch("x".into()),
+                "shard metadata mismatch",
+            ),
+            (DsError::ShardStarved, "block-pool shard starved"),
+            (DsError::Io("disk gone".into()), "io error"),
+            (DsError::Protocol("bad magic".into()), "protocol error"),
+            (DsError::Busy, "server busy"),
+        ];
+        for (err, prefix) in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty(), "{err:?} renders empty");
+            assert!(
+                msg.starts_with(prefix),
+                "{err:?} message {msg:?} lost its stable prefix {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn io_conversion_preserves_the_inner_message() {
+        let io: DsError = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer").into();
+        assert_eq!(io, DsError::Io("peer".into()));
     }
 }

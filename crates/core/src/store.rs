@@ -70,6 +70,39 @@ impl CrashImage {
         CrashImage { pool, ssd, cfg }
     }
 
+    /// Reopens a file-backed store's devices after a process restart
+    /// (clean exit or `kill -9`): maps `cfg.pmem_file` and opens
+    /// `cfg.ssd_file` exactly as [`DStore::create`] would, without
+    /// reformatting, ready for [`DStore::recover`]. Both paths must be
+    /// set; in-memory stores have nothing to reopen.
+    pub fn open(cfg: DStoreConfig) -> DsResult<CrashImage> {
+        cfg.validate().map_err(DsError::Io)?;
+        let pmem_file = cfg
+            .pmem_file
+            .as_ref()
+            .ok_or_else(|| DsError::Io("CrashImage::open needs cfg.pmem_file".into()))?;
+        let ssd_file = cfg
+            .ssd_file
+            .as_ref()
+            .ok_or_else(|| DsError::Io("CrashImage::open needs cfg.ssd_file".into()))?;
+        let layout = PmemLayout::new(&dipper_cfg(&cfg));
+        let pool = Arc::new(
+            PoolBuilder::new(layout.total)
+                .mode(if cfg.strict_pmem {
+                    PersistenceMode::Strict
+                } else {
+                    PersistenceMode::Fast
+                })
+                .latency(cfg.pmem_latency.clone())
+                .dax_file(pmem_file)
+                .build()?,
+        );
+        let ssd = Arc::new(
+            SsdDevice::file_backed(ssd_file, cfg.ssd_pages)?.with_latency(cfg.ssd_latency.clone()),
+        );
+        Ok(CrashImage { pool, ssd, cfg })
+    }
+
     /// The crashed PMEM device (failure-injection tests corrupt regions
     /// through this before recovering).
     pub fn pool(&self) -> &Arc<PmemPool> {

@@ -118,3 +118,37 @@ pub struct HealthSnapshot {
     /// (diagnostic for the telemetry itself; normally 0).
     pub spans_dropped: u64,
 }
+
+impl Default for HealthSnapshot {
+    fn default() -> Self {
+        HealthSnapshot {
+            checkpoint_panics: 0,
+            checkpoint_phase: "idle",
+            checkpoints_completed: 0,
+            log_used_fraction: 0.0,
+            log_full_stalls: 0,
+            spans_dropped: 0,
+        }
+    }
+}
+
+impl HealthSnapshot {
+    /// Folds another store's health into this one — how
+    /// `ShardedStore::health` condenses a fleet into one answer that
+    /// stays alarming whenever any member is. Counters sum; the log
+    /// fill keeps the *worst* shard (the one closest to a stall); the
+    /// phase keeps the first non-`"idle"` phase seen, so "is anything
+    /// checkpointing right now" survives the merge.
+    pub fn merge(&mut self, other: &HealthSnapshot) {
+        self.checkpoint_panics += other.checkpoint_panics;
+        self.checkpoints_completed += other.checkpoints_completed;
+        self.log_full_stalls += other.log_full_stalls;
+        self.spans_dropped += other.spans_dropped;
+        if self.log_used_fraction < other.log_used_fraction {
+            self.log_used_fraction = other.log_used_fraction;
+        }
+        if self.checkpoint_phase == "idle" {
+            self.checkpoint_phase = other.checkpoint_phase;
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! [`BoundedQueue`]: the backpressure primitive of the server.
+//!
+//! Every shard executor consumes from one of these. The *bound* is the
+//! point of the design: when a queue is full, [`BoundedQueue::try_push`]
+//! fails and the I/O layer answers the client with [`dstore::DsError::Busy`]
+//! instead of buffering without limit — admission control at the front
+//! door, mirroring DIPPER's log-full stall turning into visible
+//! backpressure rather than unbounded DRAM growth.
+//!
+//! (The in-repo `crossbeam` shim only provides unbounded channels, so
+//! this is a small Mutex + Condvar queue of our own; producers never
+//! block, only consumers do.)
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer FIFO with a hard capacity.
+/// Producers use non-blocking [`Self::try_push`]; consumers block in
+/// [`Self::pop`] until an item arrives or the queue is closed *and*
+/// drained — so closing is a graceful drain, never a drop.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues without blocking. `Ok(depth)` carries the depth *after*
+    /// the push (for the queue-depth gauge); `Err(item)` hands the item
+    /// back when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed || g.items.len() >= self.cap {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available; `None` once the queue is
+    /// closed **and** empty. The `usize` is the depth after the pop.
+    pub fn pop(&self) -> Option<(T, usize)> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some((item, g.items.len()));
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what is
+    /// already queued and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth (racy, for gauges only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy, for gauges only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some((1, 1)));
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert!(q.try_push("c").is_err());
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some((item, _)) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+        assert_eq!(consumer.join().unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+}

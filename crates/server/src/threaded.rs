@@ -1,0 +1,129 @@
+//! The fallback I/O backend: a bounded thread-per-connection pool
+//! (`--features threaded-backend`, or `Backend::Threaded` at runtime).
+//!
+//! One acceptor thread plus one reader thread per live connection, with
+//! a hard cap ([`crate::ServerConfig::max_connections`]) — beyond the
+//! cap, connections are accepted and immediately dropped, so the pool
+//! stays bounded instead of spawning without limit. Responses are
+//! written *synchronously* by the shard executors through a per-
+//! connection mutex: simpler than the epoll backend's buffered flush,
+//! at the cost of letting one slow client briefly stall an executor —
+//! the trade documented in DESIGN.md §7.
+
+use crate::exec::{Admission, ResponseSink};
+use crate::{ServerShared, STATE_RUNNING};
+use dstore_protocol::wire::encode_error_response;
+use dstore_protocol::FrameDecoder;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Executors write straight to the socket, serialized by the mutex;
+/// one `send` = one complete frame, so frames never interleave.
+struct ThreadedSink {
+    stream: Mutex<TcpStream>,
+}
+
+impl ResponseSink for ThreadedSink {
+    fn send(&self, frame: &[u8]) {
+        // A write failure means the client vanished; executors must not
+        // die with it, so the error is dropped here and the reader
+        // thread notices EOF on its side.
+        let _ = self.stream.lock().unwrap().write_all(frame);
+    }
+}
+
+/// Accept loop: polls the nonblocking listener so it can observe
+/// shutdown without an extra wakeup channel.
+pub(crate) fn acceptor_loop(
+    listener: TcpListener,
+    admission: Arc<Admission>,
+    shared: Arc<ServerShared>,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut readers = Vec::new();
+    while shared.state() == STATE_RUNNING {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if live.load(Ordering::Acquire) >= shared.max_connections {
+                    continue; // over cap: drop immediately
+                }
+                if stream.set_nodelay(true).is_err() || stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                shared.metrics.connections_opened.inc();
+                live.fetch_add(1, Ordering::AcqRel);
+                let admission = Arc::clone(&admission);
+                let shared = Arc::clone(&shared);
+                let live = Arc::clone(&live);
+                readers.push(
+                    std::thread::Builder::new()
+                        .name("ds-conn".into())
+                        .spawn(move || {
+                            reader_loop(stream, &admission, &shared);
+                            live.fetch_sub(1, Ordering::AcqRel);
+                            shared.metrics.connections_closed.inc();
+                        })
+                        .expect("spawn connection reader"),
+                );
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        // Reap finished readers so the handle list stays bounded too.
+        readers.retain(|h| !h.is_finished());
+    }
+    drop(listener);
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+fn reader_loop(stream: TcpStream, admission: &Admission, shared: &Arc<ServerShared>) {
+    // A read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let sink: Arc<dyn ResponseSink> = Arc::new(ThreadedSink {
+        stream: Mutex::new(stream.try_clone().expect("clone connection stream")),
+    });
+    let mut reader = stream;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        if shared.state() != STATE_RUNNING {
+            break;
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                decoder.push(&buf[..n]);
+                loop {
+                    match decoder.next_request() {
+                        Ok(Some((req_id, req))) => admission.admit(req_id, req, &sink),
+                        Ok(None) => break,
+                        Err(e) => {
+                            shared.metrics.protocol_errors.inc();
+                            let mut frame = Vec::new();
+                            encode_error_response(0, &e, &mut frame);
+                            sink.send(&frame);
+                            let _ = reader.shutdown(Shutdown::Read);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}

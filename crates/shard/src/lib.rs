@@ -27,4 +27,4 @@ pub mod superblock;
 pub use router::Router;
 pub use scheduler::{Scheduler, SchedulerConfig, SchedulerCounters, SchedulerMode};
 pub use store::{RecoverySummary, ShardedConfig, ShardedCtx, ShardedStore, DEFAULT_ROUTER_SEED};
-pub use superblock::{ShardMap, RESERVED_PREFIX, SHARD_MAP_NAME};
+pub use superblock::{is_reserved, ShardMap, RESERVED_PREFIX, SHARD_MAP_NAME};

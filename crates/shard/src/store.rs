@@ -152,6 +152,25 @@ impl ShardedStore {
         })
     }
 
+    /// Reopens a **file-backed** sharded store after a process restart
+    /// (clean exit or `kill -9`): derives each shard's device paths
+    /// from `cfg` exactly as [`ShardedStore::create`] did (the
+    /// `.shard<i>` suffixes), maps them without reformatting, and runs
+    /// the normal parallel [`ShardedStore::recover`]. `cfg.shards`,
+    /// the path template, and the geometry must match creation; the
+    /// persisted shard maps then re-validate count and router seed.
+    pub fn reopen(cfg: ShardedConfig) -> DsResult<Self> {
+        if cfg.base.pmem_file.is_none() || cfg.base.ssd_file.is_none() {
+            return Err(DsError::Io(
+                "ShardedStore::reopen needs file-backed pmem_file + ssd_file".into(),
+            ));
+        }
+        let images: Vec<CrashImage> = (0..cfg.shards)
+            .map(|i| CrashImage::open(cfg.shard_cfg(i)))
+            .collect::<DsResult<_>>()?;
+        Self::recover(images, cfg.scheduler)
+    }
+
     /// Recovers every shard **in parallel** and reassembles the store.
     ///
     /// Images may arrive in any order: each shard's persisted shard map
@@ -316,8 +335,21 @@ impl ShardedStore {
         ))
     }
 
+    /// One fleet-wide health summary: counters summed across shards,
+    /// log fill from the worst shard, and the first non-idle checkpoint
+    /// phase (see [`dstore::HealthSnapshot::merge`]). This is what the
+    /// server's `health` RPC returns; drill into
+    /// [`ShardedStore::health_per_shard`] when it alarms.
+    pub fn health(&self) -> dstore::HealthSnapshot {
+        let mut acc = dstore::HealthSnapshot::default();
+        for s in self.stores.iter() {
+            acc.merge(&s.health());
+        }
+        acc
+    }
+
     /// Per-shard health snapshots, index order.
-    pub fn health(&self) -> Vec<dstore::HealthSnapshot> {
+    pub fn health_per_shard(&self) -> Vec<dstore::HealthSnapshot> {
         self.stores.iter().map(|s| s.health()).collect()
     }
 

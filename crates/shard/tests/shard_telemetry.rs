@@ -93,10 +93,30 @@ fn staggered_scheduler_counts_its_triggers() {
 #[test]
 fn per_shard_health() {
     let store = ShardedStore::create(cfg(3)).unwrap();
-    let health = store.health();
+    let health = store.health_per_shard();
     assert_eq!(health.len(), 3);
     for h in health {
         assert_eq!(h.checkpoint_panics, 0);
         assert_eq!(h.checkpoint_phase, "idle");
     }
+}
+
+#[test]
+fn merged_health_condenses_the_fleet() {
+    let store = ShardedStore::create(cfg(3)).unwrap();
+    let merged = store.health();
+    assert_eq!(merged.checkpoint_panics, 0);
+    assert_eq!(merged.checkpoint_phase, "idle");
+    // The merged counters equal the per-shard sums, and the fill keeps
+    // the worst shard.
+    let per = store.health_per_shard();
+    assert_eq!(
+        merged.checkpoints_completed,
+        per.iter().map(|h| h.checkpoints_completed).sum::<u64>()
+    );
+    let worst = per
+        .iter()
+        .map(|h| h.log_used_fraction)
+        .fold(0.0f64, f64::max);
+    assert!((merged.log_used_fraction - worst).abs() < 1e-12);
 }

@@ -43,7 +43,9 @@ pub use clock::{now_ns, rate_between, rate_per_sec};
 pub use export::{to_json, to_perfetto, to_prometheus};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use registry::{Counter, Gauge, MetricsRegistry};
-pub use snapshot::{Labels, TelemetrySnapshot};
+pub use snapshot::{
+    CounterSeries, GaugeSeries, HistogramSeries, Labels, SpanSeries, TelemetrySnapshot, TraceSeries,
+};
 pub use span::{PhaseCell, Span, SpanRing};
 pub use trace::{
     ActiveTrace, OpTrace, TailAttribution, TraceConfig, TraceRing, TraceSampler, NUM_SEGMENTS,

@@ -14,9 +14,12 @@
 //!   per-segment clock reads are paid only when armed);
 //! * **SLO retention** — any op whose total latency exceeds the SLO
 //!   threshold is *always* retained, so outliers are never lost to
-//!   sampling. An unsampled outlier has no segment detail (its whole
-//!   duration is unattributed) but still carries the checkpoint phase
-//!   and log-fill stamps that tie it to concurrent checkpoint activity.
+//!   sampling. An unsampled outlier has no per-boundary segment detail
+//!   (those clock reads are only paid when armed) but keeps any
+//!   segment *pre-charged* with [`ActiveTrace::charge_at`] from
+//!   timestamps the op path already held — e.g. `net_queue` on the
+//!   server path — plus the checkpoint phase and log-fill stamps that
+//!   tie it to concurrent checkpoint activity.
 //!
 //! [`TailAttribution`] aggregates retained traces into an above/below
 //! percentile-cut segment comparison — a live reproduction of the
@@ -27,7 +30,7 @@ use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// Fixed trace segments, in pipeline order. Indices are stable public
 /// API: exporters and dashboards may hard-code them.
-pub const SEGMENT_NAMES: [&str; 10] = [
+pub const SEGMENT_NAMES: [&str; 11] = [
     "log_append",
     "alloc",
     "index",
@@ -38,6 +41,7 @@ pub const SEGMENT_NAMES: [&str; 10] = [
     "cc_wait",
     "log_stall",
     "log_flush",
+    "net_queue",
 ];
 
 /// Number of fixed segments.
@@ -70,6 +74,11 @@ pub const SEG_LOG_STALL: usize = 8;
 /// appenders; zero on the serialized baseline, which flushes inside
 /// `log_append`).
 pub const SEG_LOG_FLUSH: usize = 9;
+/// Time a request spent queued in a network front door (`dstore-server`
+/// shard queues) before the store began executing it. Charged by the
+/// `*_enqueued` op entry points; zero for in-process callers, so
+/// Table-3 tail attribution extends end-to-end over the network path.
+pub const SEG_NET_QUEUE: usize = 10;
 
 /// One completed, retained operation trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +89,10 @@ pub struct OpTrace {
     pub start_ns: u64,
     /// End, in [`crate::now_ns`] nanoseconds (≥ `start_ns`).
     pub end_ns: u64,
-    /// Time charged to each segment ([`SEGMENT_NAMES`] order). All
-    /// zero for an unsampled SLO-retained outlier.
+    /// Time charged to each segment ([`SEGMENT_NAMES`] order). For an
+    /// unsampled SLO-retained outlier only segments pre-charged via
+    /// [`ActiveTrace::charge_at`] (e.g. `net_queue`) are nonzero; the
+    /// rest of its duration is unattributed.
     pub seg_ns: [u64; NUM_SEGMENTS],
     /// Checkpoint phase the op overlapped (e.g. `"idle"`, `"flush"`),
     /// from the engine's `PhaseCell`: the phase in flight at
@@ -210,6 +221,21 @@ impl ActiveTrace {
             self.seg_ns[seg] += now.saturating_sub(self.last_ns);
             self.last_ns = now;
         }
+    }
+
+    /// [`ActiveTrace::mark_at`] that charges **even when unarmed** —
+    /// for boundaries whose timestamps the op path holds anyway, so the
+    /// segment costs nothing extra to record. An SLO-retained outlier
+    /// then carries this segment despite having no sampled detail: the
+    /// server's `net_queue` wait (admission timestamp rides in on the
+    /// request) stays attributable on exactly the slow ops that matter.
+    #[inline]
+    pub fn charge_at(&mut self, seg: usize, now: u64) {
+        if self.start_ns == 0 {
+            return; // disabled
+        }
+        self.seg_ns[seg] += now.saturating_sub(self.last_ns);
+        self.last_ns = now;
     }
 
     /// Discards the time since the previous boundary (time that belongs
@@ -475,6 +501,11 @@ pub struct SegmentBreakdown {
     pub total_ns: u64,
     /// Sum of per-segment time ([`SEGMENT_NAMES`] order).
     pub seg_ns: [u64; NUM_SEGMENTS],
+    /// Traces contributing to each segment's mean: sampled traces
+    /// count everywhere (their zeros are real measurements); unsampled
+    /// outliers count only where pre-charged
+    /// ([`ActiveTrace::charge_at`]).
+    pub seg_ops: [u64; NUM_SEGMENTS],
     /// Sum of time charged to no segment.
     pub unattributed_ns: u64,
     /// Traces stamped with a non-`"idle"` checkpoint phase.
@@ -486,8 +517,11 @@ impl SegmentBreakdown {
         self.ops += 1;
         self.sampled_ops += u64::from(t.sampled);
         self.total_ns += t.duration_ns();
-        for (acc, ns) in self.seg_ns.iter_mut().zip(t.seg_ns) {
+        for (i, (acc, ns)) in self.seg_ns.iter_mut().zip(t.seg_ns).enumerate() {
             *acc += ns;
+            if t.sampled || ns > 0 {
+                self.seg_ops[i] += 1;
+            }
         }
         self.unattributed_ns += t.unattributed_ns();
         if !t.phase.is_empty() && t.phase != "idle" {
@@ -500,10 +534,11 @@ impl SegmentBreakdown {
         self.total_ns.checked_div(self.ops).unwrap_or(0)
     }
 
-    /// Mean time in segment `seg` per *sampled* op, ns (unsampled
-    /// traces carry no segment detail and would dilute the mean).
+    /// Mean time in segment `seg` per op *that measured it*, ns —
+    /// sampled traces everywhere, unsampled outliers only where
+    /// pre-charged. Traces blind to a segment would dilute its mean.
     pub fn mean_seg_ns(&self, seg: usize) -> u64 {
-        self.seg_ns[seg].checked_div(self.sampled_ops).unwrap_or(0)
+        self.seg_ns[seg].checked_div(self.seg_ops[seg]).unwrap_or(0)
     }
 }
 
@@ -768,5 +803,33 @@ mod tests {
         assert_eq!(rep.body.sampled_ops, 0);
         assert_eq!(rep.body.mean_seg_ns(SEG_LOG_APPEND), 0);
         assert_eq!(rep.body.unattributed_ns, 9_000_000);
+    }
+
+    #[test]
+    fn charge_at_survives_unarmed_slo_retention() {
+        // The server path: admission at t=1000, execution begins at
+        // t=401_000 — the queue wait is known regardless of arming.
+        let mut at = ActiveTrace::start("put", false, 1000);
+        at.charge_at(SEG_NET_QUEUE, 401_000);
+        let t = at.finish(SEG_COMMIT, 2_001_000, 1_000_000).unwrap();
+        assert!(t.slo && !t.sampled);
+        assert_eq!(t.seg_ns[SEG_NET_QUEUE], 400_000);
+        // The unarmed remainder stays unattributed (finish only charges
+        // last_seg when armed).
+        assert_eq!(t.seg_ns[SEG_COMMIT], 0);
+        assert_eq!(t.unattributed_ns(), 2_000_000 - 400_000);
+
+        // Aggregation: the pre-charged segment has a real denominator
+        // even with zero sampled traces; blind segments still read 0.
+        let rep = TailAttribution::from_traces(&[t], 50.0);
+        assert_eq!(rep.body.sampled_ops, 0);
+        assert_eq!(rep.body.seg_ops[SEG_NET_QUEUE], 1);
+        assert_eq!(rep.body.mean_seg_ns(SEG_NET_QUEUE), 400_000);
+        assert_eq!(rep.body.mean_seg_ns(SEG_LOG_APPEND), 0);
+
+        // charge_at on a disabled trace stays a no-op.
+        let mut off = ActiveTrace::disabled();
+        off.charge_at(SEG_NET_QUEUE, u64::MAX);
+        assert!(off.finish(SEG_COMMIT, u64::MAX, 1).is_none());
     }
 }

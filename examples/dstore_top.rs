@@ -7,16 +7,25 @@
 //! DStore would show, all read through [`ShardedStore::telemetry_snapshot`].
 //!
 //! ```text
-//! cargo run --release -p dstore-shard --example dstore_top            # live, ctrl-C to stop
-//! cargo run --release -p dstore-shard --example dstore_top -- --once  # one frame (CI smoke)
-//! cargo run --release -p dstore-shard --example dstore_top -- --prometheus
+//! cargo run --release -p dstore-server --example dstore_top            # live, ctrl-C to stop
+//! cargo run --release -p dstore-server --example dstore_top -- --once  # one frame (CI smoke)
+//! cargo run --release -p dstore-server --example dstore_top -- --prometheus
+//! cargo run --release -p dstore-server --example dstore_top -- --server 127.0.0.1:7878
 //! ```
 //!
 //! `--prometheus` prints one Prometheus text exposition of the fleet
 //! snapshot and exits — pipe it to a file for the node-exporter
 //! textfile collector, or serve it from any HTTP endpoint to scrape.
+//!
+//! `--server <addr>` attaches to a running `dstore_server` instead of
+//! spinning up an in-process store: every frame below is rendered from
+//! the `stats`/`health`/`telemetry_snapshot` RPCs over the wire, and
+//! the dashboard gains the server-side view — per-RPC residency
+//! percentiles and shard-queue depths. Combines with `--once` and
+//! `--prometheus`.
 
 use dstore::{DStoreConfig, StatsSnapshot};
+use dstore_protocol::DStoreClient;
 use dstore_shard::{SchedulerConfig, SchedulerMode, ShardedConfig, ShardedStore};
 use dstore_telemetry::{to_prometheus, HistogramSnapshot, TelemetrySnapshot, SEGMENT_NAMES};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,18 +35,24 @@ use std::time::Duration;
 const SHARDS: u32 = 4;
 const OPS: [&str; 5] = ["put", "get", "delete", "owrite", "oread"];
 
-/// All series of one op's latency histogram merged across shards.
-fn op_hist(snap: &TelemetrySnapshot, op: &str) -> HistogramSnapshot {
+/// All series of one op's latency histogram (by series name) merged
+/// across shards/layers.
+fn named_op_hist(snap: &TelemetrySnapshot, name: &str, op: &str) -> HistogramSnapshot {
     let tag = ("op".to_string(), op.to_string());
     let mut acc = HistogramSnapshot::default();
     for s in snap
         .histograms
         .iter()
-        .filter(|s| s.name == "dstore_op_latency_ns" && s.labels.contains(&tag))
+        .filter(|s| s.name == name && s.labels.contains(&tag))
     {
         acc.merge(&s.hist);
     }
     acc
+}
+
+/// Store-side per-op latency, merged across shards.
+fn op_hist(snap: &TelemetrySnapshot, op: &str) -> HistogramSnapshot {
+    named_op_hist(snap, "dstore_op_latency_ns", op)
 }
 
 /// This shard's total op count, from the labeled counter series.
@@ -107,10 +122,20 @@ fn frame(
             totals[i as usize] as f64 / mean,
         );
     }
-    // Flight-recorder outliers: the most recent SLO-busting ops across
-    // the fleet, with the checkpoint phase each one overlapped and the
-    // segment it spent the most time in — the live tail-debugging view
-    // (`trace_dump` exports the same ring to Perfetto).
+    print_outliers(&snap);
+    let panics = snap.counter_total("dstore_checkpoint_panics_total");
+    if panics > 0 {
+        println!("\n  !! checkpoint panics: {panics}");
+    }
+    println!();
+    (stats, snap)
+}
+
+/// Flight-recorder outliers: the most recent SLO-busting ops across
+/// the fleet, with the checkpoint phase each one overlapped and the
+/// segment it spent the most time in — the live tail-debugging view
+/// (`trace_dump` exports the same ring to Perfetto).
+fn print_outliers(snap: &TelemetrySnapshot) {
     let mut outliers: Vec<(u64, String)> = snap
         .traces
         .iter()
@@ -153,9 +178,108 @@ fn frame(
             println!("{line}");
         }
     }
-    let panics = snap.counter_total("dstore_checkpoint_panics_total");
-    if panics > 0 {
-        println!("\n  !! checkpoint panics: {panics}");
+}
+
+/// RPCs carried by the wire protocol, in `dstore_server`'s label order.
+const SERVER_OPS: [&str; 9] = [
+    "put",
+    "get",
+    "update",
+    "delete",
+    "stat",
+    "exists",
+    "stats",
+    "health",
+    "telemetry",
+];
+
+/// One frame of the *remote* dashboard: everything here crossed the
+/// socket via the stats/health/telemetry RPCs — nothing is read from
+/// process-local state, so the same view works against any reachable
+/// `dstore_server`.
+fn remote_frame(
+    c: &mut DStoreClient,
+    addr: &str,
+    prev_stats: &StatsSnapshot,
+    prev_snap: &TelemetrySnapshot,
+) -> (StatsSnapshot, TelemetrySnapshot) {
+    let stats = c.stats().expect("stats rpc");
+    let health = c.health().expect("health rpc");
+    let snap = c.telemetry_snapshot().expect("telemetry rpc");
+
+    println!("── dstore_top ── remote {addr} ──");
+    println!(
+        "ops/s {:>12.0}    admitted {:>10}    busy rejections {:>6}",
+        stats.rate_since(prev_stats),
+        snap.counter_total("dstore_server_requests_admitted"),
+        snap.counter_total("dstore_server_busy_rejections"),
+    );
+
+    // Store-side op latency (interval), as in the local view.
+    println!("\n  op        count       p50       p99     p9999   (store, interval)");
+    for op in OPS {
+        let delta = op_hist(&snap, op).since(&op_hist(prev_snap, op));
+        if delta.count == 0 {
+            continue;
+        }
+        let (p50, p99, _p999, p9999) = delta.paper_percentiles();
+        println!(
+            "  {:<7}{:>8}  {:>9}  {:>9}  {:>9}",
+            op,
+            delta.count,
+            fmt_ns(p50),
+            fmt_ns(p99),
+            fmt_ns(p9999)
+        );
+    }
+
+    // Server-side residency: admission → response encoded, the layer
+    // the in-process dashboard cannot see.
+    println!("\n  rpc       count       p50       p99     p9999   (server residency, interval)");
+    for op in SERVER_OPS {
+        let name = "dstore_server_op_latency_ns";
+        let delta = named_op_hist(&snap, name, op).since(&named_op_hist(prev_snap, name, op));
+        if delta.count == 0 {
+            continue;
+        }
+        let (p50, p99, _p999, p9999) = delta.paper_percentiles();
+        println!(
+            "  {:<7}{:>8}  {:>9}  {:>9}  {:>9}",
+            op,
+            delta.count,
+            fmt_ns(p50),
+            fmt_ns(p99),
+            fmt_ns(p9999)
+        );
+    }
+
+    // Shard-queue depths: the backpressure surface.
+    let mut depths: Vec<(String, f64)> = snap
+        .gauges
+        .iter()
+        .filter(|g| g.name == "dstore_server_queue_depth")
+        .map(|g| {
+            let shard = g
+                .labels
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| "-".into());
+            (shard, g.value)
+        })
+        .collect();
+    depths.sort_by(|a, b| a.0.cmp(&b.0));
+    if !depths.is_empty() {
+        print!("\n  queue depth ");
+        for (shard, depth) in &depths {
+            print!(" {shard}:{depth:.0}");
+        }
+        println!();
+    }
+
+    print_outliers(&snap);
+    if health.checkpoint_panics > 0 {
+        println!("\n  !! checkpoint panics: {}", health.checkpoint_panics);
     }
     println!();
     (stats, snap)
@@ -165,6 +289,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let once = args.iter().any(|a| a == "--once");
     let prometheus = args.iter().any(|a| a == "--prometheus");
+    let server = args
+        .iter()
+        .position(|a| a == "--server")
+        .map(|i| args.get(i + 1).expect("--server needs an address").clone());
+
+    if let Some(addr) = server {
+        return remote_main(&addr, once, prometheus);
+    }
 
     let base = DStoreConfig {
         log_size: 1 << 20,
@@ -235,5 +367,44 @@ fn main() {
         assert!(snap.merged_histogram("dstore_op_latency_ns").count > 0);
         assert_eq!(snap.counter_total("dstore_checkpoint_panics_total"), 0);
         println!("dstore_top --once: ok");
+    }
+}
+
+/// `--server` mode: attach to a running `dstore_server` and render the
+/// dashboard from its RPCs. No local store, no generated load — the
+/// traffic on screen is whatever the server is actually serving.
+fn remote_main(addr: &str, once: bool, prometheus: bool) {
+    let mut c = DStoreClient::connect(addr).expect("connect to --server address");
+    if prometheus {
+        println!(
+            "{}",
+            to_prometheus(&c.telemetry_snapshot().expect("telemetry rpc"))
+        );
+        return;
+    }
+
+    let frames = if once { 2 } else { usize::MAX };
+    let interval = Duration::from_millis(if once { 300 } else { 1000 });
+    let mut prev_stats = c.stats().expect("stats rpc");
+    let mut prev_snap = c.telemetry_snapshot().expect("telemetry rpc");
+    for n in 0..frames {
+        std::thread::sleep(interval);
+        if !once {
+            print!("\x1b[2J\x1b[H");
+        }
+        (prev_stats, prev_snap) = remote_frame(&mut c, addr, &prev_stats, &prev_snap);
+        if once && n + 1 == frames {
+            break;
+        }
+    }
+    if once {
+        // CI smoke: the observability RPCs answered over a real socket.
+        assert!(
+            prev_snap
+                .merged_histogram("dstore_server_op_latency_ns")
+                .count
+                > 0
+        );
+        println!("dstore_top --server: ok");
     }
 }

@@ -1,7 +1,8 @@
 //! Offline shim for the `libc` symbols this workspace uses: the
-//! `mmap`/`munmap`/`msync` family backing the emulated-DAX PMEM pools.
-//! Constants are Linux values (the only supported target of the
-//! emulation layer). See `third_party/README.md`.
+//! `mmap`/`munmap`/`msync` family backing the emulated-DAX PMEM pools,
+//! plus the `epoll`/`eventfd` family backing `dstore-server`'s
+//! readiness loop. Constants are Linux values (the only supported
+//! target of the emulation layer). See `third_party/README.md`.
 
 #![allow(non_camel_case_types)]
 
@@ -29,6 +30,50 @@ pub const MS_SYNC: c_int = 0x4;
 /// `mmap` failure sentinel.
 pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
 
+/// C `uint32_t`.
+pub type uint32_t = u32;
+/// C `uint64_t`.
+pub type uint64_t = u64;
+
+/// Readable readiness (epoll).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (epoll).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hangup (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Register a new fd with an epoll instance.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// Remove an fd from an epoll instance.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// Change the event mask of a registered fd.
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// Close-on-exec flag for `epoll_create1`.
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+/// Close-on-exec flag for `eventfd`.
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+/// Non-blocking flag for `eventfd`.
+pub const EFD_NONBLOCK: c_int = 0o4000;
+/// `errno` value for "try again" (EWOULDBLOCK on Linux).
+pub const EAGAIN: c_int = 11;
+/// `errno` value for "interrupted system call".
+pub const EINTR: c_int = 4;
+
+/// One epoll event: a readiness mask plus the caller's 64-bit token.
+/// `repr(packed)` matches the x86-64 kernel ABI (no padding between
+/// `events` and `u64`).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Readiness mask (`EPOLLIN | …`).
+    pub events: uint32_t,
+    /// Caller-chosen token, echoed back verbatim.
+    pub u64: uint64_t,
+}
+
 extern "C" {
     /// Maps files or devices into memory.
     pub fn mmap(
@@ -43,6 +88,26 @@ extern "C" {
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
     /// Synchronizes a mapped region with its backing file.
     pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
+    /// Creates an epoll instance; `flags` is `EPOLL_CLOEXEC` or 0.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Adds/modifies/removes `fd` in the epoll interest list.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Waits for readiness events; returns the number stored in
+    /// `events`, 0 on timeout, -1 on error (check `errno`).
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Creates an eventfd counter usable as a cross-thread wakeup.
+    pub fn eventfd(initval: c_int, flags: c_int) -> c_int;
+    /// Reads from a file descriptor.
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> isize;
+    /// Writes to a file descriptor.
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> isize;
+    /// Closes a file descriptor.
+    pub fn close(fd: c_int) -> c_int;
 }
 
 #[cfg(test)]
@@ -64,6 +129,47 @@ mod tests {
             *(p as *mut u8) = 0xAB;
             assert_eq!(*(p as *mut u8), 0xAB);
             assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0);
+            let ev = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(ev >= 0);
+            let mut reg = epoll_event {
+                events: EPOLLIN,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, ev, &mut reg), 0);
+
+            // Nothing signalled yet: zero-timeout wait sees nothing.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            // Signal the eventfd; epoll must report token 42 readable.
+            let one: u64 = 1;
+            assert_eq!(
+                write(ev, (&one as *const u64).cast(), 8),
+                8,
+                "eventfd write"
+            );
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let got = out[0];
+            assert_eq!({ got.u64 }, 42);
+            assert_ne!({ got.events } & EPOLLIN, 0);
+
+            // Drain; readiness clears.
+            let mut v: u64 = 0;
+            assert_eq!(read(ev, (&mut v as *mut u64).cast(), 8), 8);
+            assert_eq!(v, 1);
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            assert_eq!(close(ev), 0);
+            assert_eq!(close(ep), 0);
         }
     }
 }
