@@ -150,24 +150,34 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     // The always-on observability budget: identical software-path ops
     // with (a) everything off, (b) per-op histograms on but the flight
     // recorder off, (c) histograms plus the flight recorder at its
-    // production setting (sample 1 in 1024, 1 ms SLO retention).
-    // Compare the three groups' medians: `telemetry_on` vs `_off` is
-    // the <5 % metrics budget; `tracing_on` vs `telemetry_on` is the
-    // ≤2 % tracing budget.
+    // production setting (sample 1 in 1024, 1 ms SLO retention), and
+    // (d) all of (c) plus the crash-persistent black box. Compare the
+    // groups' medians: `telemetry_on` vs `_off` is the <5 % metrics
+    // budget; `tracing_on` vs `telemetry_on` is the ≤2 % tracing
+    // budget; `blackbox_on` vs `tracing_on` is the ≤2 % black-box
+    // budget (one relaxed fetch_max per mutation, a persisted
+    // heartbeat every 1024th, PMEM trace writes only on retained
+    // samples).
     enum Mode {
         Off,
         Telemetry,
         Tracing,
+        BlackBox,
     }
-    for mode in [Mode::Off, Mode::Telemetry, Mode::Tracing] {
+    for mode in [Mode::Off, Mode::Telemetry, Mode::Tracing, Mode::BlackBox] {
         let cfg = DStoreConfig {
             log_size: 64 << 20,
             ssd_pages: 32 * 1024,
+            blackbox: if matches!(mode, Mode::BlackBox) {
+                dstore::BlackBoxConfig::on()
+            } else {
+                dstore::BlackBoxConfig::default()
+            },
             ..Default::default()
         }
         .with_telemetry(!matches!(mode, Mode::Off))
         .with_trace(dstore_telemetry::TraceConfig {
-            enabled: matches!(mode, Mode::Tracing),
+            enabled: matches!(mode, Mode::Tracing | Mode::BlackBox),
             ..dstore_telemetry::TraceConfig::default()
         });
         let store = DStore::create(cfg).unwrap();
@@ -180,6 +190,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             Mode::Off => "dstore_telemetry_off",
             Mode::Telemetry => "dstore_telemetry_on",
             Mode::Tracing => "dstore_tracing_on",
+            Mode::BlackBox => "dstore_blackbox_on",
         });
         g.throughput(Throughput::Elements(1));
         let mut i = 0u64;

@@ -120,6 +120,12 @@ fn op_end(
             };
             t.log_used_milli = (inner.log.used_fraction().clamp(0.0, 1.0) * 1000.0).round() as u32;
             tr.ring.record(&t);
+            // Mirror every retained trace into the crash-persistent
+            // black box — the ring only sees samples + SLO outliers, so
+            // this fence stays off the common op path.
+            if let Some(bb) = &inner.blackbox {
+                bb.record_trace(&t);
+            }
         }
     }
 }
@@ -738,6 +744,12 @@ impl DsContext {
                 cow.wait_or_assist();
             }
             at.mark(SEG_CC_WAIT);
+            // The record is published (durable): let the black box note
+            // the admitted LSN — one relaxed fetch_max, plus a heartbeat
+            // every `heartbeat_every`-th mutation.
+            if let Some(bb) = &inner.blackbox {
+                bb.note_lsn(r.lsn);
+            }
             return Ok((r.handle, r.lsn, p));
         }
     }

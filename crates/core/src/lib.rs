@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod cc;
 pub mod config;
 pub mod cow;
@@ -56,7 +57,8 @@ pub mod store;
 pub mod structures;
 pub mod telemetry;
 
-pub use config::{CheckpointMode, DStoreConfig, LoggingMode};
+pub use blackbox::CrashReport;
+pub use config::{BlackBoxConfig, CheckpointMode, DStoreConfig, LoggingMode};
 pub use ctx::{DsContext, DsLock, ObjectHandle, ObjectStat, OpenMode};
 pub use error::{DsError, DsResult};
 pub use replay::{ReplaySnapshot, ReplayStats};

@@ -1,5 +1,6 @@
 //! The store: device setup, checkpoint wiring, crash and recovery.
 
+use crate::blackbox::{BlackBoxRecorder, CrashReport};
 use crate::cc::InflightWriters;
 use crate::config::{CheckpointMode, DStoreConfig};
 use crate::cow::CowCheckpointer;
@@ -14,6 +15,7 @@ use dstore_dipper::checkpoint::{apply_checkpoint, Applier, CheckpointStats};
 use dstore_dipper::layout::{LOG_HEADER_SIZE, ROOT_SIZE};
 use dstore_dipper::{recover_scan, Checkpointer, DipperConfig, OpLog, PmemLayout, Root};
 use dstore_index::ReadCounts;
+use dstore_pmem::blackbox::{exhume, region_size, BlackBoxRegion};
 use dstore_pmem::{PersistenceMode, PmemPool, PoolBuilder};
 use dstore_ssd::SsdDevice;
 use dstore_telemetry::SpanRing;
@@ -156,6 +158,12 @@ pub(crate) struct StoreInner {
     pub replay: Arc<ReplayStats>,
     /// Always-on telemetry (None when `cfg.telemetry` is off).
     pub telemetry: Option<Arc<StoreTelemetry>>,
+    /// Crash-persistent flight recorder (None when `cfg.blackbox` is
+    /// off — every hook then collapses to a skipped branch).
+    pub blackbox: Option<Arc<BlackBoxRecorder>>,
+    /// Post-mortem of the previous incarnation, exhumed during recovery
+    /// (None on a fresh store or when the black box is disabled).
+    pub crash_report: Option<CrashReport>,
 }
 
 impl StoreInner {
@@ -198,6 +206,9 @@ impl StoreInner {
         self.stats
             .log_full_stalls
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(bb) = &self.blackbox {
+            bb.record_event("log_full_stall", 0, 0);
+        }
         match self.cfg.checkpoint {
             CheckpointMode::Dipper => {
                 if let Some(c) = self.ckpt.lock().as_ref() {
@@ -249,6 +260,11 @@ fn dipper_cfg(cfg: &DStoreConfig) -> DipperConfig {
         log_size: cfg.log_size,
         shadow_size: cfg.shadow_size,
         swap_threshold: cfg.swap_threshold,
+        blackbox_size: if cfg.blackbox.enabled {
+            region_size(cfg.blackbox.trace_slots, cfg.blackbox.event_slots)
+        } else {
+            0
+        },
     }
 }
 
@@ -309,7 +325,7 @@ impl DStore {
         let telemetry = cfg
             .telemetry
             .then(|| Arc::new(StoreTelemetry::new(&cfg.trace)));
-        Ok(Self {
+        let store = Self {
             inner: Self::assemble(
                 cfg,
                 layout,
@@ -322,8 +338,14 @@ impl DStore {
                 RecoveryReport::default(),
                 Arc::new(ReplayStats::default()),
                 telemetry,
+                None,
             ),
-        })
+        };
+        if let Some(bb) = &store.inner.blackbox {
+            bb.record_event("startup", 0, 0);
+            bb.publish_heartbeat();
+        }
+        Ok(store)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -339,6 +361,7 @@ impl DStore {
         recovery: RecoveryReport,
         replay: Arc<ReplayStats>,
         telemetry: Option<Arc<StoreTelemetry>>,
+        crash_report: Option<CrashReport>,
     ) -> Arc<StoreInner> {
         let drain = Arc::new(RwLock::new(()));
         let stall_timeout = cfg.stall_timeout;
@@ -346,6 +369,38 @@ impl DStore {
         // fewer shards than configured), so read the on-media value back.
         let nshards = Domain::attach(&dram, dir).pool_shards().max(1);
         let pool_shard_locks: Box<[Mutex<()>]> = (0..nshards).map(|_| Mutex::new(())).collect();
+        // Build the flight recorder before the checkpoint engines so the
+        // lifecycle-event sink can be threaded into their telemetry.
+        // The region is (re)formatted here — recovery exhumed the dead
+        // incarnation's contents *before* calling assemble.
+        let blackbox = match (&telemetry, cfg.blackbox.enabled && layout.blackbox_size > 0) {
+            (Some(t), true) => {
+                let region = BlackBoxRegion::format(
+                    Arc::clone(&pool),
+                    layout.blackbox,
+                    cfg.blackbox.trace_slots,
+                    cfg.blackbox.event_slots,
+                );
+                Some(Arc::new(BlackBoxRecorder::new(
+                    region,
+                    Arc::clone(&t.ckpt.phase),
+                    Arc::clone(&log),
+                    Arc::clone(&dram),
+                    dir,
+                    cfg.ssd_pages,
+                    cfg.blackbox.heartbeat_every,
+                )))
+            }
+            _ => None,
+        };
+        let ckpt_telemetry = telemetry.as_ref().map(|t| {
+            let mut ct = t.ckpt.clone();
+            if let Some(bb) = &blackbox {
+                let bb = Arc::clone(bb);
+                ct.events = Some(Arc::new(move |name, a, b| bb.record_event(name, a, b)));
+            }
+            ct
+        });
         let (ckpt, cow) = match cfg.checkpoint {
             CheckpointMode::Dipper => {
                 let applier = make_applier(
@@ -364,8 +419,8 @@ impl DStore {
                     applier,
                 );
                 c.set_apply_threads(cfg.replay_threads);
-                if let Some(t) = &telemetry {
-                    c.set_telemetry(t.ckpt.clone());
+                if let Some(ct) = &ckpt_telemetry {
+                    c.set_telemetry(ct.clone());
                 }
                 (Some(c), None)
             }
@@ -378,8 +433,8 @@ impl DStore {
                     Arc::clone(&dram),
                     Arc::clone(&drain),
                 );
-                if let Some(t) = &telemetry {
-                    c.set_telemetry(t.ckpt.clone());
+                if let Some(ct) = &ckpt_telemetry {
+                    c.set_telemetry(ct.clone());
                 }
                 (None, Some(c))
             }
@@ -406,6 +461,8 @@ impl DStore {
             recovery,
             replay,
             telemetry,
+            blackbox,
+            crash_report,
         })
     }
 
@@ -719,6 +776,51 @@ impl DStore {
         self.inner.recovery
     }
 
+    /// Post-mortem of the previous incarnation, exhumed from the
+    /// crash-persistent black box during [`DStore::recover`]. `None` on
+    /// a fresh store, when `cfg.blackbox` is disabled, or when the
+    /// previous incarnation ran without a black box (the region then
+    /// fails its magic check and degrades to no report, never an error).
+    pub fn crash_report(&self) -> Option<&CrashReport> {
+        self.inner.crash_report.as_ref()
+    }
+
+    /// The live black-box heartbeat: the record the flight recorder
+    /// would persist right now, built from the same gauges. `None` when
+    /// the black box is disabled.
+    pub fn blackbox_heartbeat(&self) -> Option<dstore_telemetry::BlackBoxHeartbeat> {
+        self.inner
+            .blackbox
+            .as_ref()
+            .map(|bb| bb.current_heartbeat())
+    }
+
+    /// Reads the black box of a crashed (or cleanly closed) store
+    /// *without* recovering it: scans the durable logs read-only for the
+    /// LSN fence, exhumes the region, and synthesizes the report. The
+    /// image is untouched — [`DStore::recover`] afterwards sees exactly
+    /// the same state. `Ok(None)` when the black box is disabled in the
+    /// image's config or nothing decodable survived.
+    pub fn post_mortem(image: &CrashImage) -> DsResult<Option<CrashReport>> {
+        let cfg = &image.cfg;
+        let layout = PmemLayout::new(&dipper_cfg(cfg));
+        if !cfg.blackbox.enabled || layout.blackbox_size == 0 {
+            return Ok(None);
+        }
+        let root = Root::attach(
+            Arc::clone(&image.pool),
+            layout.log_size as u64,
+            layout.shadow_size as u64,
+        )
+        .ok_or(DsError::NotFormatted)?;
+        let plan = recover_scan(&image.pool, &layout, &root);
+        Ok(
+            exhume(&image.pool, layout.blackbox, layout.blackbox_size).map(|ex| {
+                CrashReport::synthesize(&ex, plan.next_lsn, plan.replay_records.len() as u64)
+            }),
+        )
+    }
+
     /// The PMEM device (bandwidth counters for Figure 7).
     pub fn pmem(&self) -> &Arc<PmemPool> {
         &self.inner.pool
@@ -821,6 +923,17 @@ impl DStore {
             }
         };
         let plan = recover_scan(&pool, &layout, &root);
+        // Exhume the dead incarnation's black box *before* assemble
+        // reformats the region. `plan.next_lsn` dominates every LSN the
+        // dead process published, so it serves as the log-tail fence the
+        // report's heartbeat is cross-checked against.
+        let next_lsn = plan.next_lsn;
+        let crash_report = if cfg.blackbox.enabled && layout.blackbox_size > 0 {
+            exhume(&pool, layout.blackbox, layout.blackbox_size)
+                .map(|ex| CrashReport::synthesize(&ex, next_lsn, plan.replay_records.len() as u64))
+        } else {
+            None
+        };
         let mut report = RecoveryReport::default();
         let replay_stats = Arc::new(ReplayStats::default());
         let rec_ring = telemetry.as_ref().map(|t| Arc::clone(&t.recovery_ring));
@@ -890,7 +1003,8 @@ impl DStore {
         log.set_stall_timeout(cfg.stall_timeout);
         log.set_commit_combining(cfg.parallel_persistence);
         let log = Arc::new(log);
-        Ok(Self {
+        let replayed = report.replayed_records as u64;
+        let store = Self {
             inner: Self::assemble(
                 cfg,
                 layout,
@@ -903,8 +1017,14 @@ impl DStore {
                 report,
                 replay_stats,
                 telemetry,
+                crash_report,
             ),
-        })
+        };
+        if let Some(bb) = &store.inner.blackbox {
+            bb.record_event("recovered", replayed, next_lsn);
+            bb.publish_heartbeat();
+        }
+        Ok(store)
     }
 
     /// Clean shutdown: checkpoint everything, then stop. Returns the
@@ -915,6 +1035,11 @@ impl DStore {
         drop(self.inner.ckpt.lock().take());
         if let Some(c) = &self.inner.cow {
             c.wait_idle();
+        }
+        // The clean marker goes down last on the PMEM side, after the
+        // final checkpoint: a crash *during* close still reads as dirty.
+        if let Some(bb) = &self.inner.blackbox {
+            bb.mark_clean();
         }
         let _ = self.inner.pool.sync_backing_file();
         let _ = self.inner.ssd.sync_backing_file();

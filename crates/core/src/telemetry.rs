@@ -70,6 +70,7 @@ impl StoreTelemetry {
             ring: registry.span_ring("dstore_checkpoint_spans", &[], CKPT_RING_CAPACITY),
             phase: Arc::new(PhaseCell::new(CHECKPOINT_PHASES)),
             panics: registry.counter("dstore_checkpoint_panics_total", &[]),
+            events: None,
         };
         let trace = trace_cfg.enabled.then(|| TraceTelemetry {
             ring: registry.trace_ring("dstore_op_traces", &[], trace_cfg.ring_capacity),

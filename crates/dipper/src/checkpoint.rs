@@ -48,11 +48,19 @@ pub const PHASE_FLUSH: usize = 3;
 /// Index into [`CHECKPOINT_PHASES`]: atomic root commit.
 pub const PHASE_SWAP: usize = 4;
 
+/// Callback fired as each checkpoint phase completes:
+/// `(phase_name, a, b)` with the same payload words the span ring gets
+/// (`a` = bytes processed, `b` = records applied). The black box uses
+/// this to persist lifecycle events; keep implementations cheap — they
+/// run on the checkpoint worker (and the triggering thread for
+/// `"trigger"`).
+pub type CheckpointEventSink = Arc<dyn Fn(&'static str, u64, u64) + Send + Sync>;
+
 /// Telemetry sinks for checkpoint observability, installed by the
 /// embedding store via [`Checkpointer::set_telemetry`]. All sinks are
 /// lock-free to record into, so attaching them does not perturb the
 /// phases they measure.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CheckpointTelemetry {
     /// Completed phase spans (trigger/apply/flush/swap), with payload
     /// words `a` = bytes processed, `b` = records applied.
@@ -64,6 +72,19 @@ pub struct CheckpointTelemetry {
     /// still consistent (the root never committed) but the log is no
     /// longer draining; surfaced through the store's health snapshot.
     pub panics: Arc<Counter>,
+    /// Optional lifecycle-event sink (see [`CheckpointEventSink`]).
+    pub events: Option<CheckpointEventSink>,
+}
+
+impl std::fmt::Debug for CheckpointTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointTelemetry")
+            .field("ring", &self.ring)
+            .field("phase", &self.phase)
+            .field("panics", &self.panics)
+            .field("events", &self.events.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 /// Replays committed records onto the shadow structures in the given
@@ -242,6 +263,9 @@ impl Checkpointer {
         });
         if let Some(t) = &tel {
             t.ring.record("trigger", t0, now_ns(), 0, 0);
+            if let Some(ev) = &t.events {
+                ev("trigger", 0, 0);
+            }
         }
         let tx = self.inner.tx.lock();
         tx.as_ref()
@@ -383,6 +407,9 @@ fn apply_checkpoint_with_stall(
     let span = |name: &'static str, start: u64, a: u64, b: u64| {
         if let Some(t) = telemetry {
             t.ring.record(name, start, now_ns(), a, b);
+            if let Some(ev) = &t.events {
+                ev(name, a, b);
+            }
         }
     };
     let state = root.state();

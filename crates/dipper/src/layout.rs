@@ -1,9 +1,9 @@
 //! Static layout of the PMEM pool.
 //!
 //! ```text
-//! ┌──────────┬──────────────┬──────────────┬──────────────┬──────────────┐
-//! │ root 4K  │ log 0        │ log 1        │ shadow A     │ shadow B     │
-//! └──────────┴──────────────┴──────────────┴──────────────┴──────────────┘
+//! ┌──────────┬──────────┬──────────┬──────────┬──────────┬─────────────┐
+//! │ root 4K  │ log 0    │ log 1    │ shadow A │ shadow B │ black box?  │
+//! └──────────┴──────────┴──────────┴──────────┴──────────┴─────────────┘
 //! ```
 //!
 //! "A root object, placed in a well known offset in PMEM contains pointers
@@ -33,6 +33,12 @@ pub struct PmemLayout {
     pub shadow: [usize; 2],
     /// Capacity of each shadow region.
     pub shadow_size: usize,
+    /// Offset of the crash-persistent black-box region (meaningful only
+    /// when `blackbox_size > 0`). Placed last so enabling or resizing it
+    /// never shifts any other component.
+    pub blackbox: usize,
+    /// Bytes reserved for the black-box region (0 = disabled).
+    pub blackbox_size: usize,
     /// Total pool bytes required.
     pub total: usize,
 }
@@ -47,13 +53,21 @@ impl PmemLayout {
         let log1 = log0 + LOG_HEADER_SIZE + log_size;
         let shadow_a = align(log1 + LOG_HEADER_SIZE + log_size);
         let shadow_b = shadow_a + shadow_size;
+        let blackbox = shadow_b + shadow_size;
+        let blackbox_size = if cfg.blackbox_size > 0 {
+            align(cfg.blackbox_size)
+        } else {
+            0
+        };
         Self {
             root: 0,
             log: [log0, log1],
             log_size,
             shadow: [shadow_a, shadow_b],
             shadow_size,
-            total: shadow_b + shadow_size,
+            blackbox,
+            blackbox_size,
+            total: blackbox + blackbox_size,
         }
     }
 
@@ -80,8 +94,30 @@ mod tests {
         assert!(l.log[1] >= l.log[0] + LOG_HEADER_SIZE + l.log_size);
         assert!(l.shadow[0] >= l.log[1] + LOG_HEADER_SIZE + l.log_size);
         assert_eq!(l.shadow[1], l.shadow[0] + l.shadow_size);
+        assert_eq!(l.blackbox_size, 0);
         assert_eq!(l.total, l.shadow[1] + l.shadow_size);
         assert_eq!(l.log_records(0), l.log[0] + LOG_HEADER_SIZE);
+    }
+
+    #[test]
+    fn blackbox_region_appends_without_shifting_anything() {
+        let cfg = DipperConfig {
+            log_size: 1 << 20,
+            shadow_size: 8 << 20,
+            ..Default::default()
+        };
+        let off = PmemLayout::new(&cfg);
+        let on = PmemLayout::new(&DipperConfig {
+            blackbox_size: 100_000,
+            ..cfg
+        });
+        assert_eq!(on.log, off.log);
+        assert_eq!(on.shadow, off.shadow);
+        assert_eq!(on.blackbox, off.total);
+        assert_eq!(on.blackbox % 4096, 0);
+        assert_eq!(on.blackbox_size % 4096, 0);
+        assert!(on.blackbox_size >= 100_000);
+        assert_eq!(on.total, on.blackbox + on.blackbox_size);
     }
 
     #[test]

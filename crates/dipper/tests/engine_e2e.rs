@@ -131,6 +131,7 @@ fn small_cfg() -> DipperConfig {
         log_size: 1 << 16,
         shadow_size: 128 * 1024,
         swap_threshold: 0.5,
+        ..Default::default()
     }
 }
 
@@ -269,6 +270,7 @@ fn frontend_progresses_during_background_checkpoint() {
         log_size: 1 << 18,
         shadow_size: 1 << 20,
         swap_threshold: 0.5,
+        ..Default::default()
     });
     let applier = applier_for(&mini.pool, mini.layout, mini.dir);
     let ckpt = Checkpointer::new(
@@ -341,6 +343,7 @@ fn apply_panic_is_counted_and_releases_the_store() {
         ring: Arc::new(SpanRing::new(64)),
         phase: Arc::new(PhaseCell::new(CHECKPOINT_PHASES)),
         panics: Arc::new(Counter::default()),
+        events: None,
     };
     ckpt.set_telemetry(tel.clone());
 

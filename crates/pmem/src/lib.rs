@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod blackbox;
 pub mod latency;
 pub mod mapping;
 pub mod pool;
 pub mod stats;
 
 pub use backoff::Backoff;
+pub use blackbox::{exhume, BlackBoxRegion, ExhumedBlackBox};
 pub use latency::LatencyModel;
 pub use pool::{PersistenceMode, PmemPool, PoolBuilder};
 pub use stats::PmemStats;

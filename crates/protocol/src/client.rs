@@ -212,6 +212,17 @@ impl DStoreClient {
             other => Err(type_mismatch("telemetry_snapshot", &other)),
         }
     }
+
+    /// Per-shard post-mortems of the previous incarnation, exhumed from
+    /// each shard's crash-persistent black box when the server
+    /// recovered. One entry per shard, index order; `None` entries are
+    /// shards with nothing to report (fresh store or black box off).
+    pub fn crash_report(&mut self) -> DsResult<Vec<Option<dstore::CrashReport>>> {
+        match self.call(&Request::CrashReport)? {
+            Response::CrashReports(reports) => Ok(reports),
+            other => Err(type_mismatch("crash_report", &other)),
+        }
+    }
 }
 
 fn type_mismatch(op: &str, got: &Response) -> DsError {

@@ -23,10 +23,11 @@
 //! without bound through the telemetry channel.
 
 use crate::wire::{Reader, Writer};
-use dstore::{DsError, DsResult, HealthSnapshot, ObjectStat, StatsSnapshot};
+use dstore::{CrashReport, DsError, DsResult, HealthSnapshot, ObjectStat, StatsSnapshot};
 use dstore_telemetry::{
-    CounterSeries, GaugeSeries, HistogramSeries, HistogramSnapshot, Labels, OpTrace, Span,
-    SpanSeries, TelemetrySnapshot, TraceSeries, NUM_SEGMENTS, SEGMENT_NAMES,
+    BlackBoxEvent, BlackBoxHeartbeat, CounterSeries, GaugeSeries, HistogramSeries,
+    HistogramSnapshot, Labels, OpTrace, Span, SpanSeries, TelemetrySnapshot, TraceSeries,
+    NUM_SEGMENTS, SEGMENT_NAMES,
 };
 use std::collections::HashSet;
 use std::sync::{Mutex, OnceLock};
@@ -57,6 +58,15 @@ const KNOWN_NAMES: &[&str] = &[
     "oread",
     "exists",
     "stat",
+    // black-box lifecycle events + server RPC names
+    "startup",
+    "recovered",
+    "log_full_stall",
+    "clean_shutdown",
+    "stats",
+    "health",
+    "telemetry_snapshot",
+    "crash_report",
 ];
 
 fn intern(s: &str) -> &'static str {
@@ -382,4 +392,111 @@ pub(crate) fn read_telemetry(r: &mut Reader<'_>) -> DsResult<TelemetrySnapshot> 
         spans,
         traces,
     })
+}
+
+// ---------------------------------------------------------------------
+// crash reports (post-mortem)
+
+fn write_crash_report(w: &mut Writer, r: &CrashReport) {
+    w.u8(r.clean as u8);
+    match &r.heartbeat {
+        Some(hb) => {
+            w.u8(1);
+            w.u64(hb.last_lsn);
+            w.str16(hb.checkpoint_phase);
+            w.u32(hb.log_used_milli);
+            w.u64(hb.arena_high_water);
+            w.u64(hb.ssd_blocks_used);
+            w.u64(hb.wall_unix_ns);
+            w.u64(hb.mono_ns);
+        }
+        None => w.u8(0),
+    }
+    w.u32(r.events.len() as u32);
+    for ev in &r.events {
+        w.str16(ev.name);
+        w.u64(ev.mono_ns);
+        w.u64(ev.a);
+        w.u64(ev.b);
+    }
+    w.u32(r.traces.len() as u32);
+    for t in &r.traces {
+        write_trace(w, t);
+    }
+    w.u64(r.log_tail_lsn);
+    w.u64(r.replayed_records);
+}
+
+fn read_crash_report(r: &mut Reader<'_>) -> DsResult<CrashReport> {
+    let clean = r.u8()? != 0;
+    let heartbeat = match r.u8()? {
+        0 => None,
+        1 => Some(BlackBoxHeartbeat {
+            last_lsn: r.u64()?,
+            checkpoint_phase: intern(r.str16()?),
+            log_used_milli: r.u32()?,
+            arena_high_water: r.u64()?,
+            ssd_blocks_used: r.u64()?,
+            wall_unix_ns: r.u64()?,
+            mono_ns: r.u64()?,
+        }),
+        other => {
+            return Err(DsError::Protocol(format!(
+                "bad heartbeat presence byte {other}"
+            )))
+        }
+    };
+    let n = r.count(26)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(BlackBoxEvent {
+            name: intern(r.str16()?),
+            mono_ns: r.u64()?,
+            a: r.u64()?,
+            b: r.u64()?,
+        });
+    }
+    let n = r.count(30)?;
+    let mut traces = Vec::with_capacity(n);
+    for _ in 0..n {
+        traces.push(read_trace(r)?);
+    }
+    Ok(CrashReport {
+        clean,
+        heartbeat,
+        events,
+        traces,
+        log_tail_lsn: r.u64()?,
+        replayed_records: r.u64()?,
+    })
+}
+
+pub(crate) fn write_crash_reports(w: &mut Writer, reports: &[Option<CrashReport>]) {
+    w.u32(reports.len() as u32);
+    for report in reports {
+        match report {
+            Some(report) => {
+                w.u8(1);
+                write_crash_report(w, report);
+            }
+            None => w.u8(0),
+        }
+    }
+}
+
+pub(crate) fn read_crash_reports(r: &mut Reader<'_>) -> DsResult<Vec<Option<CrashReport>>> {
+    let n = r.count(1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            0 => None,
+            1 => Some(read_crash_report(r)?),
+            other => {
+                return Err(DsError::Protocol(format!(
+                    "bad crash-report presence byte {other}"
+                )))
+            }
+        });
+    }
+    Ok(out)
 }

@@ -195,6 +195,10 @@ pub enum Request {
     /// The full merged telemetry snapshot (histograms, gauges, spans,
     /// flight-recorder traces) — what `dstore_top --server` polls.
     TelemetrySnapshot,
+    /// Per-shard post-mortems of the previous incarnation, exhumed from
+    /// each shard's crash-persistent black box during recovery — what
+    /// `dstore_top --post-mortem` renders.
+    CrashReport,
 }
 
 const REQ_PUT: u8 = 1;
@@ -206,6 +210,7 @@ const REQ_EXISTS: u8 = 6;
 const REQ_STATS: u8 = 7;
 const REQ_HEALTH: u8 = 8;
 const REQ_TELEMETRY: u8 = 9;
+const REQ_CRASH_REPORT: u8 = 10;
 
 impl Request {
     /// The key this request routes by (`None` for fleet-wide RPCs).
@@ -233,6 +238,7 @@ impl Request {
             Request::Stats => "stats",
             Request::Health => "health",
             Request::TelemetrySnapshot => "telemetry_snapshot",
+            Request::CrashReport => "crash_report",
         }
     }
 
@@ -247,6 +253,7 @@ impl Request {
             Request::Stats => REQ_STATS,
             Request::Health => REQ_HEALTH,
             Request::TelemetrySnapshot => REQ_TELEMETRY,
+            Request::CrashReport => REQ_CRASH_REPORT,
         }
     }
 
@@ -260,7 +267,10 @@ impl Request {
             | Request::Delete { key }
             | Request::Stat { key }
             | Request::Exists { key } => w.bytes16(key),
-            Request::Stats | Request::Health | Request::TelemetrySnapshot => {}
+            Request::Stats
+            | Request::Health
+            | Request::TelemetrySnapshot
+            | Request::CrashReport => {}
         }
     }
 
@@ -290,6 +300,7 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_HEALTH => Request::Health,
             REQ_TELEMETRY => Request::TelemetrySnapshot,
+            REQ_CRASH_REPORT => Request::CrashReport,
             other => return Err(perr(format!("unknown request opcode {other}"))),
         })
     }
@@ -316,6 +327,9 @@ pub enum Response {
     Health(dstore::HealthSnapshot),
     /// `telemetry_snapshot` result.
     Telemetry(dstore_telemetry::TelemetrySnapshot),
+    /// `crash_report` result: one entry per shard, index order; `None`
+    /// entries are shards with nothing to report.
+    CrashReports(Vec<Option<dstore::CrashReport>>),
 }
 
 const RESP_OK: u8 = 0;
@@ -325,6 +339,7 @@ const RESP_STAT: u8 = 3;
 const RESP_STATS: u8 = 4;
 const RESP_HEALTH: u8 = 5;
 const RESP_TELEMETRY: u8 = 6;
+const RESP_CRASH_REPORTS: u8 = 7;
 const RESP_ERR: u8 = 0xEE;
 
 impl Response {
@@ -337,6 +352,7 @@ impl Response {
             Response::Stats(_) => RESP_STATS,
             Response::Health(_) => RESP_HEALTH,
             Response::Telemetry(_) => RESP_TELEMETRY,
+            Response::CrashReports(_) => RESP_CRASH_REPORTS,
         }
     }
 
@@ -349,6 +365,7 @@ impl Response {
             Response::Stats(s) => snapshot::write_stats(w, s),
             Response::Health(h) => snapshot::write_health(w, h),
             Response::Telemetry(t) => snapshot::write_telemetry(w, t),
+            Response::CrashReports(reports) => snapshot::write_crash_reports(w, reports),
         }
     }
 
@@ -365,6 +382,7 @@ impl Response {
             RESP_STATS => Response::Stats(snapshot::read_stats(r)?),
             RESP_HEALTH => Response::Health(snapshot::read_health(r)?),
             RESP_TELEMETRY => Response::Telemetry(snapshot::read_telemetry(r)?),
+            RESP_CRASH_REPORTS => Response::CrashReports(snapshot::read_crash_reports(r)?),
             other => return Err(perr(format!("unknown response tag {other}"))),
         })
     }
@@ -588,6 +606,7 @@ mod tests {
             Request::Stats,
             Request::Health,
             Request::TelemetrySnapshot,
+            Request::CrashReport,
         ];
         let mut bytes = Vec::new();
         for (i, r) in reqs.iter().enumerate() {

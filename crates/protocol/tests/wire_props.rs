@@ -34,6 +34,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
         1 => Just(Request::Stats),
         1 => Just(Request::Health),
         1 => Just(Request::TelemetrySnapshot),
+        1 => Just(Request::CrashReport),
     ]
 }
 
@@ -72,6 +73,32 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 log_full_stalls: n & 0xff,
                 spans_dropped: n >> 8,
             })
+        }),
+        1 => (any::<u64>(), any::<u64>()).prop_map(|(lsn, n)| {
+            Response::CrashReports(vec![
+                None,
+                Some(dstore::CrashReport {
+                    clean: n & 1 == 0,
+                    heartbeat: (n & 2 == 0).then(|| dstore_telemetry::BlackBoxHeartbeat {
+                        last_lsn: lsn,
+                        checkpoint_phase: "idle",
+                        log_used_milli: (n % 1000) as u32,
+                        arena_high_water: n,
+                        ssd_blocks_used: n >> 3,
+                        wall_unix_ns: lsn ^ n,
+                        mono_ns: lsn.wrapping_add(n),
+                    }),
+                    events: vec![dstore_telemetry::BlackBoxEvent {
+                        name: "trigger",
+                        mono_ns: n,
+                        a: lsn,
+                        b: n >> 1,
+                    }],
+                    traces: vec![],
+                    log_tail_lsn: lsn.wrapping_add(1),
+                    replayed_records: n & 0xffff,
+                }),
+            ])
         }),
     ]
 }

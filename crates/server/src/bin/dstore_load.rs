@@ -1,0 +1,94 @@
+//! `dstore_load` — a small pipelined load generator for `dstore_server`.
+//!
+//! ```text
+//! dstore_load --addr HOST:PORT [--seconds N] [--value-bytes N] [--pipeline N]
+//! ```
+//!
+//! Drives a steady stream of `put`s (with occasional `get`s) for the
+//! requested wall time, keeping `--pipeline` requests in flight.
+//! The CI post-mortem smoke uses it to put a server under real load
+//! before `kill -9`, so the exhumed black box has in-flight operation
+//! traces from the death window. Prints `LOAD OK …` and exits 0 on a
+//! full run; if the server dies mid-run (the kill landed early) it
+//! prints `LOAD DIED …` and exits 3 — distinguishable from flag errors
+//! (2) and genuine failures (1).
+
+use dstore_protocol::{DStoreClient, Request, Response};
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!("usage: dstore_load --addr HOST:PORT [--seconds N] [--value-bytes N] [--pipeline N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut seconds = 2u64;
+    let mut value_bytes = 256usize;
+    let mut pipeline = 32usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let val = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = val(&mut it),
+            "--seconds" => seconds = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--value-bytes" => value_bytes = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--pipeline" => pipeline = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if addr.is_empty() {
+        usage();
+    }
+
+    let mut c = DStoreClient::connect(&addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    let value = vec![0x5A; value_bytes.max(1)];
+    let deadline = Instant::now() + Duration::from_secs(seconds.max(1));
+    let mut seq = 0u64;
+    let mut puts = 0u64;
+    let mut gets = 0u64;
+    let mut busy = 0u64;
+    while Instant::now() < deadline {
+        let ids: Vec<(u64, bool)> = (0..pipeline.max(1))
+            .map(|_| {
+                seq += 1;
+                let key = format!("load/{}", seq % 4096).into_bytes();
+                if seq.is_multiple_of(8) && seq > 8 {
+                    (c.submit(&Request::Get { key }), true)
+                } else {
+                    (
+                        c.submit(&Request::Put {
+                            key,
+                            value: value.clone(),
+                        }),
+                        false,
+                    )
+                }
+            })
+            .collect();
+        c.flush().expect("flush");
+        for (id, is_get) in ids {
+            match c.wait(id) {
+                Ok(Response::Ok) => puts += 1,
+                Ok(Response::Value(_)) => gets += 1,
+                Ok(other) => panic!("unexpected response {other:?}"),
+                // Backpressure is expected under deliberate overload;
+                // NotFound just means the keyspace wrapped before the
+                // first write landed.
+                Err(dstore::DsError::Busy) => busy += 1,
+                Err(dstore::DsError::NotFound) if is_get => {}
+                // The server vanished mid-run — the expected ending
+                // when a crash harness kills it under load.
+                Err(dstore::DsError::Io(e)) => {
+                    println!("LOAD DIED {puts} puts {gets} gets {busy} busy ({e})");
+                    std::process::exit(3);
+                }
+                Err(e) => panic!("load op failed: {e}"),
+            }
+        }
+    }
+    println!("LOAD OK {puts} puts {gets} gets {busy} busy");
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dstore_server [--addr HOST:PORT] [--shards N] [--backend epoll|threaded]
-//!               [--queue-depth N] [--config small|bench]
+//!               [--queue-depth N] [--config small|bench] [--blackbox]
 //!               [--data-dir PATH] [--reopen] [--smoke]
 //! ```
 //!
@@ -12,8 +12,14 @@
 //! gracefully: drains in-flight requests, flushes acknowledgements,
 //! closes. `kill -9` is the crash case: acknowledged writes are in the
 //! PMEM image and recovery (`--reopen`) replays them.
+//!
+//! `--blackbox` turns on the crash-persistent flight recorder (and
+//! dense trace sampling to feed it); after a crash, reopen with the
+//! *same* flag so layouts agree, then pull the post-mortem with
+//! `dstore_top --post-mortem` or offline with `trace_dump
+//! --post-mortem`.
 
-use dstore::DStoreConfig;
+use dstore::{BlackBoxConfig, DStoreConfig};
 use dstore_server::{Backend, Server, ServerConfig};
 use dstore_shard::{ShardedConfig, ShardedStore};
 use std::io::Read;
@@ -22,7 +28,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: dstore_server [--addr HOST:PORT] [--shards N] [--backend epoll|threaded]\n\
-         \x20                    [--queue-depth N] [--config small|bench]\n\
+         \x20                    [--queue-depth N] [--config small|bench] [--blackbox]\n\
          \x20                    [--data-dir PATH] [--reopen] [--smoke]"
     );
     std::process::exit(2);
@@ -34,6 +40,7 @@ struct Args {
     backend: Backend,
     queue_depth: usize,
     config: String,
+    blackbox: bool,
     data_dir: Option<std::path::PathBuf>,
     reopen: bool,
     smoke: bool,
@@ -46,6 +53,7 @@ fn parse_args() -> Args {
         backend: Backend::default(),
         queue_depth: 256,
         config: "small".into(),
+        blackbox: false,
         data_dir: None,
         reopen: false,
         smoke: false,
@@ -65,6 +73,7 @@ fn parse_args() -> Args {
                 }
             }
             "--config" => args.config = val(&mut it),
+            "--blackbox" => args.blackbox = true,
             "--data-dir" => args.data_dir = Some(val(&mut it).into()),
             "--reopen" => args.reopen = true,
             "--smoke" => args.smoke = true,
@@ -82,6 +91,16 @@ fn main() {
         "bench" => DStoreConfig::bench(),
         _ => usage(),
     };
+    if args.blackbox {
+        // Dense sampling so the black box retains enough traces around
+        // the moment of death to attribute the tail; a heartbeat every
+        // 64 mutations keeps the last-known LSN close to the log tail.
+        base.blackbox = BlackBoxConfig {
+            heartbeat_every: 64,
+            ..BlackBoxConfig::on()
+        };
+        base.trace.sample_every = 16;
+    }
     if let Some(dir) = &args.data_dir {
         std::fs::create_dir_all(dir).expect("create --data-dir");
         base.pmem_file = Some(dir.join("pmem.pool"));
@@ -125,7 +144,7 @@ fn main() {
 
     if args.smoke {
         smoke(&server);
-        server.shutdown();
+        close_store(server);
         println!("SMOKE OK");
         return;
     }
@@ -135,11 +154,22 @@ fn main() {
     let mut sink = Vec::new();
     let _ = std::io::stdin().read_to_end(&mut sink);
     let stats = server.store().stats();
-    server.shutdown();
+    close_store(server);
     eprintln!(
         "shutdown: {} puts, {} gets, {} deletes served",
         stats.puts, stats.gets, stats.deletes
     );
+}
+
+/// Graceful exit: drain the server, then *close* the store — the final
+/// checkpoint plus the black box's clean-shutdown marker, so the next
+/// incarnation's post-mortem reads clean instead of dirty.
+fn close_store(server: Server) {
+    let store = Arc::clone(server.store());
+    server.shutdown();
+    if let Ok(store) = Arc::try_unwrap(store) {
+        store.close();
+    }
 }
 
 /// Self-test against the live socket: basic ops, a pipelined batch, and

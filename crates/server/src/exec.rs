@@ -93,6 +93,7 @@ impl Admission {
             }
             Err(job) => {
                 self.metrics.busy_rejections.inc();
+                self.metrics.record_error(&job.req, &DsError::Busy);
                 self.metrics.responses_sent.inc();
                 let mut buf = Vec::new();
                 encode_error_response(job.req_id, &DsError::Busy, &mut buf);
@@ -129,9 +130,11 @@ fn execute_data(ctx: &DsContext, req: &Request, enqueue_ns: u64) -> Result<Respo
         Request::Delete { key } => ctx.delete_enqueued(key, enqueue_ns).map(|_| Response::Ok),
         Request::Stat { key } => ctx.stat(key).map(Response::Stat),
         Request::Exists { key } => Ok(Response::Bool(ctx.exists(key))),
-        Request::Stats | Request::Health | Request::TelemetrySnapshot => Err(DsError::Protocol(
-            "control RPC routed to a data executor".into(),
-        )),
+        Request::Stats | Request::Health | Request::TelemetrySnapshot | Request::CrashReport => {
+            Err(DsError::Protocol(
+                "control RPC routed to a data executor".into(),
+            ))
+        }
     }
 }
 
@@ -139,7 +142,10 @@ fn respond(metrics: &ServerMetrics, job: &Job, result: Result<Response, DsError>
     let mut buf = Vec::new();
     match &result {
         Ok(resp) => encode_response(job.req_id, resp, &mut buf),
-        Err(e) => encode_error_response(job.req_id, e, &mut buf),
+        Err(e) => {
+            metrics.record_error(&job.req, e);
+            encode_error_response(job.req_id, e, &mut buf);
+        }
     }
     metrics.record_op(&job.req, now_ns().saturating_sub(job.enqueue_ns));
     metrics.responses_sent.inc();
@@ -200,6 +206,7 @@ pub(crate) fn spawn_control_executor(
                         snap.sort();
                         Ok(Response::Telemetry(snap))
                     }
+                    Request::CrashReport => Ok(Response::CrashReports(store.crash_reports())),
                     _ => Err(DsError::Protocol(
                         "data op routed to control executor".into(),
                     )),

@@ -17,12 +17,13 @@
 //! RPC can merge it (labelled `layer="server"`) with the store's
 //! snapshot and ship both over the wire in a single frame.
 
+use dstore::DsError;
 use dstore_protocol::Request;
 use dstore_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry, TelemetrySnapshot};
 use std::sync::Arc;
 
 /// Request kinds, in wire order — index with [`op_index`].
-const OP_NAMES: [&str; 9] = [
+const OP_NAMES: [&str; 10] = [
     "put",
     "get",
     "update",
@@ -32,6 +33,7 @@ const OP_NAMES: [&str; 9] = [
     "stats",
     "health",
     "telemetry_snapshot",
+    "crash_report",
 ];
 
 fn op_index(req: &Request) -> usize {
@@ -45,6 +47,7 @@ fn op_index(req: &Request) -> usize {
         Request::Stats => 6,
         Request::Health => 7,
         Request::TelemetrySnapshot => 8,
+        Request::CrashReport => 9,
     }
 }
 
@@ -54,6 +57,14 @@ pub struct ServerMetrics {
     registry: MetricsRegistry,
     op_latency: Vec<Arc<LatencyHistogram>>,
     queue_depth: Vec<Arc<Gauge>>,
+    /// Error responses per request kind
+    /// (`dstore_server_errors_total{kind}`). Application errors
+    /// included — a `NotFound` probe counts, so the rate is the thing
+    /// to alarm on, not the raw value.
+    errors_total: Vec<Arc<Counter>>,
+    /// Every [`dstore::DsError::Busy`] that went out on the wire
+    /// (`dstore_server_busy_total`) — admission rejections included.
+    pub busy_total: Arc<Counter>,
     /// Accepted connections.
     pub connections_opened: Arc<Counter>,
     /// Closed connections (EOF, error, or shutdown).
@@ -81,9 +92,15 @@ impl ServerMetrics {
             .map(|i| registry.gauge("dstore_server_queue_depth", &[("shard", &i.to_string())]))
             .collect();
         queue_depth.push(registry.gauge("dstore_server_queue_depth", &[("shard", "control")]));
+        let errors_total = OP_NAMES
+            .iter()
+            .map(|op| registry.counter("dstore_server_errors_total", &[("kind", op)]))
+            .collect();
         ServerMetrics {
             op_latency,
             queue_depth,
+            errors_total,
+            busy_total: registry.counter("dstore_server_busy_total", &[]),
             connections_opened: registry.counter("dstore_server_connections_opened", &[]),
             connections_closed: registry.counter("dstore_server_connections_closed", &[]),
             requests_admitted: registry.counter("dstore_server_requests_admitted", &[]),
@@ -97,6 +114,15 @@ impl ServerMetrics {
     /// Records full server residency (admission → response encoded).
     pub fn record_op(&self, req: &Request, latency_ns: u64) {
         self.op_latency[op_index(req)].record(latency_ns);
+    }
+
+    /// Records an error response under its request kind; a `Busy` also
+    /// bumps the dedicated backpressure counter.
+    pub fn record_error(&self, req: &Request, err: &DsError) {
+        self.errors_total[op_index(req)].inc();
+        if matches!(err, DsError::Busy) {
+            self.busy_total.inc();
+        }
     }
 
     /// Updates the depth gauge for `shard` (or the control queue when

@@ -6,7 +6,7 @@
 //! persisted before the response was encoded, so no crash window
 //! exists between acknowledgement and durability.
 
-use dstore::{DStoreConfig, DsError};
+use dstore::{BlackBoxConfig, DStoreConfig, DsError};
 use dstore_protocol::{DStoreClient, Request, Response};
 use dstore_shard::{ShardedConfig, ShardedStore};
 use std::collections::HashMap;
@@ -16,7 +16,11 @@ use std::time::Duration;
 
 const SHARDS: u32 = 4;
 
-fn spawn_server(data_dir: &std::path::Path, reopen: bool) -> (Child, std::net::SocketAddr) {
+fn spawn_server(
+    data_dir: &std::path::Path,
+    reopen: bool,
+    blackbox: bool,
+) -> (Child, std::net::SocketAddr) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_dstore_server"));
     cmd.arg("--addr")
         .arg("127.0.0.1:0")
@@ -29,6 +33,9 @@ fn spawn_server(data_dir: &std::path::Path, reopen: bool) -> (Child, std::net::S
         .stderr(Stdio::null());
     if reopen {
         cmd.arg("--reopen");
+    }
+    if blackbox {
+        cmd.arg("--blackbox");
     }
     let mut child = cmd.spawn().expect("spawn dstore_server");
     let stdout = child.stdout.take().expect("child stdout");
@@ -46,9 +53,17 @@ fn spawn_server(data_dir: &std::path::Path, reopen: bool) -> (Child, std::net::S
 }
 
 /// The sharded config the binary builds from the same flags — used to
-/// reopen the image in-process after the crash.
-fn store_cfg(data_dir: &std::path::Path) -> ShardedConfig {
+/// reopen the image in-process after the crash. Must mirror the
+/// binary's `--blackbox` settings exactly or the PMEM layouts disagree.
+fn store_cfg(data_dir: &std::path::Path, blackbox: bool) -> ShardedConfig {
     let mut base = DStoreConfig::small();
+    if blackbox {
+        base.blackbox = BlackBoxConfig {
+            heartbeat_every: 64,
+            ..BlackBoxConfig::on()
+        };
+        base.trace.sample_every = 16;
+    }
     base.pmem_file = Some(data_dir.join("pmem.pool"));
     base.ssd_file = Some(data_dir.join("ssd.dev"));
     ShardedConfig::new(SHARDS, base)
@@ -91,7 +106,7 @@ fn pump_writes(addr: std::net::SocketAddr, client_id: usize) -> HashMap<Vec<u8>,
 #[test]
 fn kill_nine_mid_load_loses_no_acknowledged_write() {
     let dir = tempfile::tempdir().unwrap();
-    let (mut child, addr) = spawn_server(dir.path(), false);
+    let (mut child, addr) = spawn_server(dir.path(), false, true);
 
     // Concurrent clients hammer pipelined batches…
     let writers: Vec<_> = (0..3)
@@ -115,7 +130,7 @@ fn kill_nine_mid_load_loses_no_acknowledged_write() {
 
     // Recovery replays the op-log; every acknowledged write must be
     // there with exactly the acknowledged contents.
-    let store = ShardedStore::reopen(store_cfg(dir.path())).expect("recover after SIGKILL");
+    let store = ShardedStore::reopen(store_cfg(dir.path(), true)).expect("recover after SIGKILL");
     let ctx = store.context();
     for (key, value) in &acked {
         match ctx.get(key) {
@@ -131,12 +146,59 @@ fn kill_nine_mid_load_loses_no_acknowledged_write() {
             ),
         }
     }
+
+    // The exhumed black boxes must describe the death coherently: a
+    // dirty end, a final heartbeat whose last-known LSN sits at or
+    // below the recovered log tail (and within one commit window of
+    // it), and at least one in-flight op trace from the death window.
+    let reports = store.crash_reports();
+    assert_eq!(reports.len(), SHARDS as usize);
+    // `log_tail_lsn` is recovery's *fence*, which sits a fixed headroom
+    // (log_size / 24-byte record header) above the last persisted LSN;
+    // the real commit window — heartbeat_every records, everything the
+    // server queues had admitted but not yet heartbeat-counted at the
+    // kill, and the slack of the recorder's racy relaxed max-LSN —
+    // rides on top of that. 1024 bounds it loosely but still pins the
+    // heartbeat to the same neighbourhood as the tail (the fence alone
+    // is ~10.9k LSNs on the 256 KiB log).
+    let headroom = (256u64 << 10) / 24 + 1;
+    let window = 1024;
+    let mut death_traces = 0usize;
+    let mut heartbeats = 0usize;
+    for (shard, report) in reports.iter().enumerate() {
+        let r = report
+            .as_ref()
+            .unwrap_or_else(|| panic!("shard {shard}: no crash report exhumed"));
+        assert!(!r.clean, "shard {shard}: SIGKILL read back as clean");
+        if let Some(hb) = &r.heartbeat {
+            heartbeats += 1;
+            assert!(
+                hb.last_lsn <= r.log_tail_lsn,
+                "shard {shard}: heartbeat LSN {} beyond recovered tail {}",
+                hb.last_lsn,
+                r.log_tail_lsn
+            );
+            assert!(
+                r.log_tail_lsn - hb.last_lsn <= headroom + window,
+                "shard {shard}: heartbeat LSN {} too far behind tail {} — \
+                 the final commit window should be tight under load",
+                hb.last_lsn,
+                r.log_tail_lsn
+            );
+        }
+        death_traces += r.death_window_traces().len();
+    }
+    assert!(heartbeats > 0, "no shard persisted a heartbeat under load");
+    assert!(
+        death_traces > 0,
+        "no in-flight op traces from the death window across {SHARDS} shards"
+    );
 }
 
 #[test]
 fn graceful_stop_then_reopen_serves_the_same_data() {
     let dir = tempfile::tempdir().unwrap();
-    let (mut child, addr) = spawn_server(dir.path(), false);
+    let (mut child, addr) = spawn_server(dir.path(), false, true);
 
     let mut c = DStoreClient::connect(addr).unwrap();
     for i in 0..64 {
@@ -151,7 +213,7 @@ fn graceful_stop_then_reopen_serves_the_same_data() {
     assert!(status.success(), "graceful exit failed: {status:?}");
 
     // A second server process reopens the same image and serves it.
-    let (mut child2, addr2) = spawn_server(dir.path(), true);
+    let (mut child2, addr2) = spawn_server(dir.path(), true, true);
     let mut c2 = DStoreClient::connect(addr2).unwrap();
     for i in 0..64 {
         assert_eq!(
@@ -161,6 +223,24 @@ fn graceful_stop_then_reopen_serves_the_same_data() {
     }
     let health = c2.health().unwrap();
     assert_eq!(health.checkpoint_panics, 0);
+
+    // Over the wire: every shard's post-mortem of the first incarnation
+    // must read as a clean shutdown.
+    let reports = c2.crash_report().unwrap();
+    assert_eq!(reports.len(), SHARDS as usize);
+    for (shard, report) in reports.iter().enumerate() {
+        let r = report
+            .as_ref()
+            .unwrap_or_else(|| panic!("shard {shard}: no crash report after reopen"));
+        assert!(
+            r.clean,
+            "shard {shard}: graceful shutdown read back as dirty"
+        );
+        assert!(
+            r.events.iter().any(|e| e.name == "clean_shutdown"),
+            "shard {shard}: clean_shutdown event missing"
+        );
+    }
     drop(c2);
     drop(child2.stdin.take());
     assert!(child2.wait().expect("reap").success());

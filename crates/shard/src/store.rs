@@ -11,7 +11,7 @@ use crate::router::Router;
 use crate::scheduler::{Scheduler, SchedulerConfig, SchedulerMode};
 use crate::superblock::{is_reserved, ShardMap};
 use dstore::{
-    CrashImage, DStore, DStoreConfig, DsContext, DsError, DsLock, DsResult, Footprint,
+    CrashImage, CrashReport, DStore, DStoreConfig, DsContext, DsError, DsLock, DsResult, Footprint,
     ObjectHandle, ObjectStat, OpenMode, RecoveryReport, StatsSnapshot,
 };
 use dstore_telemetry::TelemetrySnapshot;
@@ -368,6 +368,33 @@ impl ShardedStore {
     /// Per-shard recovery reports (zeroes for a fresh store).
     pub fn recovery_reports(&self) -> Vec<RecoveryReport> {
         self.stores.iter().map(|s| s.recovery_report()).collect()
+    }
+
+    /// Per-shard post-mortems of the previous incarnation, exhumed from
+    /// each shard's crash-persistent black box during recovery. Index
+    /// order; `None` entries are shards with nothing to report (fresh
+    /// store, black box disabled, or nothing decodable survived).
+    pub fn crash_reports(&self) -> Vec<Option<CrashReport>> {
+        self.stores
+            .iter()
+            .map(|s| s.crash_report().cloned())
+            .collect()
+    }
+
+    /// Reads every shard's black box **without** recovering the store:
+    /// opens each shard's devices exactly as [`ShardedStore::reopen`]
+    /// would (the `.shard<i>` path suffixes) and synthesizes the
+    /// per-shard reports from the durable images, which are left
+    /// untouched. The post-mortem path for a store that is still down.
+    pub fn post_mortem(cfg: &ShardedConfig) -> DsResult<Vec<Option<CrashReport>>> {
+        if cfg.base.pmem_file.is_none() || cfg.base.ssd_file.is_none() {
+            return Err(DsError::Io(
+                "ShardedStore::post_mortem needs file-backed pmem_file + ssd_file".into(),
+            ));
+        }
+        (0..cfg.shards)
+            .map(|i| DStore::post_mortem(&CrashImage::open(cfg.shard_cfg(i))?))
+            .collect()
     }
 
     /// Runs one complete checkpoint on every shard, sequentially.

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod clock;
 pub mod export;
 pub mod histogram;
@@ -39,6 +40,7 @@ pub mod snapshot;
 pub mod span;
 pub mod trace;
 
+pub use blackbox::{BlackBoxEvent, BlackBoxHeartbeat};
 pub use clock::{now_ns, rate_between, rate_per_sec};
 pub use export::{to_json, to_perfetto, to_prometheus};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};

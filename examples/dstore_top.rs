@@ -21,8 +21,14 @@
 //! spinning up an in-process store: every frame below is rendered from
 //! the `stats`/`health`/`telemetry_snapshot` RPCs over the wire, and
 //! the dashboard gains the server-side view — per-RPC residency
-//! percentiles and shard-queue depths. Combines with `--once` and
-//! `--prometheus`.
+//! percentiles, shard-queue depths, and per-RPC error/busy counters.
+//! Combines with `--once` and `--prometheus`.
+//!
+//! `--post-mortem` (requires `--server`) pulls each shard's crash
+//! report — the black box exhumed from the *previous* incarnation when
+//! the server recovered — and prints it human-readable, or as JSON
+//! with `--json`. See `trace_dump --post-mortem` for the offline
+//! (image-only, no server) variant.
 
 use dstore::{DStoreConfig, StatsSnapshot};
 use dstore_protocol::DStoreClient;
@@ -122,6 +128,7 @@ fn frame(
             totals[i as usize] as f64 / mean,
         );
     }
+    print_replay(&snap);
     print_outliers(&snap);
     let panics = snap.counter_total("dstore_checkpoint_panics_total");
     if panics > 0 {
@@ -181,7 +188,7 @@ fn print_outliers(snap: &TelemetrySnapshot) {
 }
 
 /// RPCs carried by the wire protocol, in `dstore_server`'s label order.
-const SERVER_OPS: [&str; 9] = [
+const SERVER_OPS: [&str; 10] = [
     "put",
     "get",
     "update",
@@ -190,8 +197,28 @@ const SERVER_OPS: [&str; 9] = [
     "exists",
     "stats",
     "health",
-    "telemetry",
+    "telemetry_snapshot",
+    "crash_report",
 ];
+
+/// Replay-engine panel: the five `dstore_replay_*` counters from the
+/// last recovery — how many dependency windows and parallel groups the
+/// replay planner built, how many records it pushed through them, how
+/// often it fell back to serial order, and the time spent serialized.
+fn print_replay(snap: &TelemetrySnapshot) {
+    let records = snap.counter_total("dstore_replay_records_total");
+    if records == 0 {
+        return; // fresh store: nothing was replayed
+    }
+    println!(
+        "\n  replay    records {:>8}   windows {:>6}   groups {:>6}   serial-fallbacks {:>4}   serialized {}",
+        records,
+        snap.counter_total("dstore_replay_windows_total"),
+        snap.counter_total("dstore_replay_groups_total"),
+        snap.counter_total("dstore_replay_serial_fallbacks_total"),
+        fmt_ns(snap.counter_total("dstore_replay_serialized_ns_total")),
+    );
+}
 
 /// One frame of the *remote* dashboard: everything here crossed the
 /// socket via the stats/health/telemetry RPCs — nothing is read from
@@ -277,6 +304,32 @@ fn remote_frame(
         println!();
     }
 
+    // Error surface: every error response by RPC kind, plus the
+    // dedicated busy counter (admission rejections + executor Busy).
+    let errors: Vec<(String, u64)> = snap
+        .counters
+        .iter()
+        .filter(|s| s.name == "dstore_server_errors_total" && s.value > 0)
+        .map(|s| {
+            let kind = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "kind")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| "-".into());
+            (kind, s.value)
+        })
+        .collect();
+    let busy = snap.counter_total("dstore_server_busy_total");
+    if busy > 0 || !errors.is_empty() {
+        print!("\n  errors      busy:{busy}");
+        for (kind, n) in &errors {
+            print!("  {kind}:{n}");
+        }
+        println!();
+    }
+
+    print_replay(&snap);
     print_outliers(&snap);
     if health.checkpoint_panics > 0 {
         println!("\n  !! checkpoint panics: {}", health.checkpoint_panics);
@@ -289,13 +342,24 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let once = args.iter().any(|a| a == "--once");
     let prometheus = args.iter().any(|a| a == "--prometheus");
+    let post_mortem = args.iter().any(|a| a == "--post-mortem");
+    let json = args.iter().any(|a| a == "--json");
     let server = args
         .iter()
         .position(|a| a == "--server")
         .map(|i| args.get(i + 1).expect("--server needs an address").clone());
 
     if let Some(addr) = server {
+        if post_mortem {
+            return remote_post_mortem(&addr, json);
+        }
         return remote_main(&addr, once, prometheus);
+    }
+    if post_mortem {
+        eprintln!(
+            "--post-mortem needs --server <addr> (or use trace_dump --post-mortem for offline images)"
+        );
+        std::process::exit(2);
     }
 
     let base = DStoreConfig {
@@ -367,6 +431,40 @@ fn main() {
         assert!(snap.merged_histogram("dstore_op_latency_ns").count > 0);
         assert_eq!(snap.counter_total("dstore_checkpoint_panics_total"), 0);
         println!("dstore_top --once: ok");
+    }
+}
+
+/// `--post-mortem`: ask the server for each shard's exhumed crash
+/// report and render it. The report describes the *previous*
+/// incarnation — what the store was doing when it last died.
+fn remote_post_mortem(addr: &str, json: bool) {
+    let mut c = DStoreClient::connect(addr).expect("connect to --server address");
+    let reports = c.crash_report().expect("crash_report rpc");
+    if json {
+        let entries: Vec<String> = reports
+            .iter()
+            .map(|r| match r {
+                Some(r) => r.to_json(),
+                None => "null".into(),
+            })
+            .collect();
+        println!("[{}]", entries.join(","));
+        return;
+    }
+    println!(
+        "── post-mortem ── remote {addr} ── {} shards ──",
+        reports.len()
+    );
+    for (shard, report) in reports.iter().enumerate() {
+        match report {
+            Some(r) => {
+                println!("\nshard {shard}:");
+                for line in r.render().lines() {
+                    println!("  {line}");
+                }
+            }
+            None => println!("\nshard {shard}: no report (fresh store or black box off)"),
+        }
     }
 }
 

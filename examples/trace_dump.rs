@@ -13,16 +13,28 @@
 //!    load it at <https://ui.perfetto.dev> for a zoomable timeline.
 //!
 //! ```text
-//! cargo run --release -p dstore --example trace_dump              # full run, JSON to trace.json
-//! cargo run --release -p dstore --example trace_dump -- --once   # abbreviated CI smoke
-//! cargo run --release -p dstore --example trace_dump -- --out /tmp/t.json
+//! cargo run --release -p dstore-shard --example trace_dump              # full run, JSON to trace.json
+//! cargo run --release -p dstore-shard --example trace_dump -- --once   # abbreviated CI smoke
+//! cargo run --release -p dstore-shard --example trace_dump -- --out /tmp/t.json
+//! cargo run --release -p dstore-shard --example trace_dump -- \
+//!     --post-mortem --data-dir /var/lib/dstore --shards 4 [--json]
 //! ```
 //!
 //! `--once` validates its own Perfetto output (JSON shape + at least
 //! one complete `"ph":"X"` op slice) and exits non-zero on failure —
 //! the CI smoke for the exporter path.
+//!
+//! `--post-mortem` skips the live demo entirely: it opens the
+//! file-backed image a `dstore_server --blackbox` left behind (without
+//! recovering it — the image stays exactly as the crash left it) and
+//! prints each shard's exhumed crash report, human-readable or as a
+//! JSON array with `--json`. The config flags must match the dead
+//! server's (`--shards`, and the store config is assumed to be the
+//! binary's `--config small --blackbox` defaults) or the PMEM layouts
+//! disagree.
 
-use dstore::{DStore, DStoreConfig};
+use dstore::{BlackBoxConfig, DStore, DStoreConfig};
+use dstore_shard::{ShardedConfig, ShardedStore};
 use dstore_telemetry::{to_perfetto, TraceConfig, SEGMENT_NAMES};
 use std::sync::Arc;
 
@@ -81,6 +93,54 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// `--post-mortem`: exhume the black boxes of a dead (or cleanly
+/// stopped) `dstore_server --blackbox` image, offline. Read-only: the
+/// log is scanned for its tail but never replayed, so running this
+/// before the real recovery changes nothing.
+fn post_mortem(data_dir: &str, shards: u32, json: bool) {
+    // Mirror `dstore_server --config small --blackbox` exactly.
+    let mut base = DStoreConfig::small();
+    base.blackbox = BlackBoxConfig {
+        heartbeat_every: 64,
+        ..BlackBoxConfig::on()
+    };
+    base.trace.sample_every = 16;
+    let dir = std::path::Path::new(data_dir);
+    base.pmem_file = Some(dir.join("pmem.pool"));
+    base.ssd_file = Some(dir.join("ssd.dev"));
+    let cfg = ShardedConfig::new(shards, base);
+    let reports = match ShardedStore::post_mortem(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("post-mortem failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json {
+        let entries: Vec<String> = reports
+            .iter()
+            .map(|r| match r {
+                Some(r) => r.to_json(),
+                None => "null".into(),
+            })
+            .collect();
+        println!("[{}]", entries.join(","));
+        return;
+    }
+    println!("── post-mortem ── {data_dir} ── {shards} shards ──");
+    for (shard, report) in reports.iter().enumerate() {
+        match report {
+            Some(r) => {
+                println!("\nshard {shard}:");
+                for line in r.render().lines() {
+                    println!("  {line}");
+                }
+            }
+            None => println!("\nshard {shard}: no report (black box absent or unreadable)"),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let once = args.iter().any(|a| a == "--once");
@@ -89,6 +149,22 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    if args.iter().any(|a| a == "--post-mortem") {
+        let data_dir = args
+            .iter()
+            .position(|a| a == "--data-dir")
+            .and_then(|i| args.get(i + 1))
+            .expect("--post-mortem needs --data-dir PATH")
+            .clone();
+        let shards = args
+            .iter()
+            .position(|a| a == "--shards")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.parse().expect("--shards must be a number"))
+            .unwrap_or(4);
+        let json = args.iter().any(|a| a == "--json");
+        return post_mortem(&data_dir, shards, json);
+    }
 
     // Small log so checkpoints fire often; sample 1 in 64 for segment
     // detail, retain anything over a 2 ms SLO.
