@@ -72,6 +72,18 @@ pub struct DStoreConfig {
     /// serialized write path, kept as a benchmark baseline
     /// (`fig12_write_scaling`).
     pub parallel_persistence: bool,
+    /// Epoch-batched durability on the write path (requires
+    /// `parallel_persistence`): publishes only *store* the record body,
+    /// the elected commit drainer persists every body, commit flag, and
+    /// gap header of the batch behind **one** merged fence, small-value
+    /// SSD waits fold into the same epoch, and the PMEM pool's
+    /// proven-durable line tracker elides flushes for lines the model
+    /// proves already persistent. When off, every record pays the
+    /// per-record reverse-order flush discipline. Defaults to on,
+    /// overridable with the `DSTORE_DURABILITY_EPOCH` environment
+    /// variable (`0`/`false` disables — CI pins its per-record leg
+    /// through this).
+    pub durability_epoch: bool,
     /// Use the strict cache-line persistence simulator (crash tests).
     /// Benchmarks leave this off and rely on the latency models.
     pub strict_pmem: bool,
@@ -176,6 +188,7 @@ impl Default for DStoreConfig {
             swap_threshold: 0.75,
             pool_shards: 8,
             parallel_persistence: true,
+            durability_epoch: default_durability_epoch(),
             strict_pmem: false,
             pmem_latency: LatencyModel::none(),
             ssd_latency: SsdLatency::none(),
@@ -199,6 +212,16 @@ fn default_replay_threads() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Default for [`DStoreConfig::durability_epoch`]: on, unless the
+/// `DSTORE_DURABILITY_EPOCH` environment variable disables it
+/// (`0`/`false`/`off`).
+fn default_durability_epoch() -> bool {
+    !matches!(
+        std::env::var("DSTORE_DURABILITY_EPOCH").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
 }
 
 impl DStoreConfig {
@@ -268,6 +291,12 @@ impl DStoreConfig {
     /// Enables/disables the parallel-persistence write path.
     pub fn with_parallel_persistence(mut self, on: bool) -> Self {
         self.parallel_persistence = on;
+        self
+    }
+    /// Enables/disables epoch-batched durability (effective only with
+    /// `parallel_persistence`).
+    pub fn with_durability_epoch(mut self, on: bool) -> Self {
+        self.durability_epoch = on;
         self
     }
     /// Sets the checkpoint-apply / recovery-replay worker count
@@ -399,6 +428,9 @@ mod tests {
         assert_eq!(c.logging, LoggingMode::Logical);
         assert!(c.swap_threshold > 0.0 && c.swap_threshold < 1.0);
         assert!(c.parallel_persistence);
+        // DSTORE_DURABILITY_EPOCH may be pinned off in CI legs; both
+        // values are valid defaults.
+        let _ = c.durability_epoch;
         assert_eq!(c.pool_shards, 8);
         assert!(c.replay_threads >= 1);
     }
@@ -481,6 +513,7 @@ mod tests {
             .with_auto_checkpoint(false)
             .with_pool_shards(4)
             .with_parallel_persistence(false)
+            .with_durability_epoch(false)
             .with_replay_threads(2)
             .with_trace(TraceConfig {
                 sample_every: 16,
@@ -493,6 +526,7 @@ mod tests {
         assert!(!c.auto_checkpoint);
         assert_eq!(c.pool_shards, 4);
         assert!(!c.parallel_persistence);
+        assert!(!c.durability_epoch);
         assert_eq!(c.replay_threads, 2);
         assert!(c.strict_pmem);
         assert!(c.trace.enabled);

@@ -255,22 +255,32 @@ impl DsContext {
         at.mark(SEG_INDEX);
         let install_ns = t.map(|t| now_ns().saturating_sub(t)).unwrap_or(0);
 
-        // Step ⑧: data to SSD.
+        // Step ⑧: data to SSD. Under epoch durability the pages are only
+        // *submitted* — the device deadline folds into the commit epoch
+        // below, so one epoch fence covers log record + flag + SSD ack —
+        // otherwise the write is synchronous and durable on return.
+        let epoch = inner.cfg.parallel_persistence && inner.cfg.durability_epoch;
         let t = bd.is_some().then(now_ns);
-        self.write_blocks(&plan.blocks, value);
+        let ssd_deadline = if epoch {
+            self.submit_blocks(&plan.blocks, value)
+        } else {
+            self.write_blocks(&plan.blocks, value);
+            0
+        };
         at.mark(SEG_SSD_WRITE);
         let nvme_ns = t.map(|t| now_ns().saturating_sub(t)).unwrap_or(0);
 
-        // The object's mutation is complete (data durable at step ⑧):
-        // release the writer mark *before* committing the record. A
-        // competing writer passes the conflict scan only once the record
-        // commits, so the registration windows of two writers can never
-        // overlap — in the other order they briefly could.
+        // The object's mutation is complete (data durable at step ⑧, or
+        // durable by this op's epoch fence): release the writer mark
+        // *before* committing the record. A competing writer passes the
+        // conflict scan only once the record commits, so the registration
+        // windows of two writers can never overlap — in the other order
+        // they briefly could.
         inner.writers.unregister(key);
 
         // Step ⑨: commit.
         let t = bd.is_some().then(now_ns);
-        inner.log.commit(handle);
+        inner.log.commit_with_deadline(handle, ssd_deadline);
         let commit_ns = t.map(|t| now_ns().saturating_sub(t)).unwrap_or(0);
 
         inner.stats.puts.fetch_add(1, Ordering::Relaxed);
@@ -785,6 +795,38 @@ impl DsContext {
             ssd.write_pages(d.block_first_page(blocks[i]), &chunk);
             i = j;
         }
+    }
+
+    /// [`DsContext::write_blocks`] without the device wait: submits every
+    /// command and returns the latest completion deadline (0 when `data`
+    /// is empty), to be folded into the op's commit epoch.
+    fn submit_blocks(&self, blocks: &[u64], data: &[u8]) -> u64 {
+        if data.is_empty() {
+            return 0;
+        }
+        let ssd = &self.inner.ssd;
+        let d = self.inner.domain();
+        let bs = d.block_bytes() as usize;
+        let page = PAGE_BYTES as usize;
+        let data_blocks = data.len().div_ceil(bs);
+        let blocks = &blocks[..data_blocks.min(blocks.len())];
+        let mut deadline = 0u64;
+        let mut i = 0;
+        while i < blocks.len() {
+            // Contiguous block ids own contiguous page ranges.
+            let mut j = i + 1;
+            while j < blocks.len() && blocks[j] == blocks[j - 1] + 1 {
+                j += 1;
+            }
+            let start_byte = i * bs;
+            let data_end = data.len().min(j * bs);
+            let pages = (data_end - start_byte).div_ceil(page);
+            let mut chunk = vec![0u8; pages * page];
+            chunk[..data_end - start_byte].copy_from_slice(&data[start_byte..data_end]);
+            deadline = deadline.max(ssd.submit_write_pages(d.block_first_page(blocks[i]), &chunk));
+            i = j;
+        }
+        deadline
     }
 
     /// Reads `size` bytes from allocation `blocks` into a fresh vector.

@@ -305,6 +305,7 @@ impl DStore {
         let mut log = OpLog::create(Arc::clone(&pool), layout);
         log.set_stall_timeout(cfg.stall_timeout);
         log.set_commit_combining(cfg.parallel_persistence);
+        log.set_durability_epoch(cfg.parallel_persistence && cfg.durability_epoch);
         let log = Arc::new(log);
 
         // System space: format the DRAM domain, then seed shadow region 0
@@ -674,6 +675,17 @@ impl DStore {
         // Device traffic.
         let p = self.inner.pool.stats().snapshot();
         snap.push_counter("dstore_pmem_flush_bytes_total", vec![], p.flush_bytes);
+        // Ordering accounting (minimally-ordered durability): flush/fence
+        // call counts plus the lines the batching machinery saved.
+        snap.push_counter("dstore_pmem_flushes_total", vec![], p.flush_ops);
+        snap.push_counter("dstore_pmem_fences_total", vec![], p.fences);
+        snap.push_counter("dstore_pmem_dedup_lines_total", vec![], p.dedup_lines);
+        snap.push_counter("dstore_pmem_elided_lines_total", vec![], p.elided_lines);
+        snap.push_counter(
+            "dstore_log_torn_commits_total",
+            vec![],
+            l.torn_commits.load(Ordering::Relaxed),
+        );
         snap.push_counter(
             "dstore_pmem_bulk_write_bytes_total",
             vec![],
@@ -1002,6 +1014,7 @@ impl DStore {
         let mut log = plan.finish(Arc::clone(&pool), layout);
         log.set_stall_timeout(cfg.stall_timeout);
         log.set_commit_combining(cfg.parallel_persistence);
+        log.set_durability_epoch(cfg.parallel_persistence && cfg.durability_epoch);
         let log = Arc::new(log);
         let replayed = report.replayed_records as u64;
         let store = Self {

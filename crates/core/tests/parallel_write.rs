@@ -136,6 +136,17 @@ fn stress_single_shard() {
     stress(DStoreConfig::small().with_pool_shards(1));
 }
 
+/// Epoch-batched durability pinned on explicitly (the other legs follow
+/// the `DSTORE_DURABILITY_EPOCH` default, which CI pins off in one leg).
+#[test]
+fn stress_dipper_epoch() {
+    stress(
+        DStoreConfig::small()
+            .with_logging(LoggingMode::Logical)
+            .with_durability_epoch(true),
+    );
+}
+
 /// Maximally sharded pool: every multi-block put overflows its name's
 /// tiny shard, forcing the starve → all-locks → steal escalation. The
 /// stolen allocations must survive crash recovery (replay reproduces
@@ -187,11 +198,13 @@ fn run_concurrent_case(
     ckpt: CheckpointMode,
     logging: LoggingMode,
     parallel: bool,
+    epoch: bool,
 ) -> Result<(), TestCaseError> {
     let cfg = DStoreConfig::small()
         .with_checkpoint(ckpt)
         .with_logging(logging)
         .with_parallel_persistence(parallel)
+        .with_durability_epoch(epoch)
         .with_auto_checkpoint(false);
     let store = Arc::new(DStore::create(cfg).unwrap());
     // (private-key exact state, shared-key last value) per thread.
@@ -278,16 +291,33 @@ proptest! {
 
     #[test]
     fn concurrent_crash_equivalence_dipper(scripts in script_strategy()) {
-        run_concurrent_case(&scripts, CheckpointMode::Dipper, LoggingMode::Physical, true)?;
+        run_concurrent_case(&scripts, CheckpointMode::Dipper, LoggingMode::Physical, true, false)?;
     }
 
     #[test]
     fn concurrent_crash_equivalence_cow(scripts in script_strategy()) {
-        run_concurrent_case(&scripts, CheckpointMode::Cow, LoggingMode::Logical, true)?;
+        run_concurrent_case(&scripts, CheckpointMode::Cow, LoggingMode::Logical, true, false)?;
     }
 
     #[test]
     fn concurrent_crash_equivalence_serialized(scripts in script_strategy()) {
-        run_concurrent_case(&scripts, CheckpointMode::Dipper, LoggingMode::Physical, false)?;
+        run_concurrent_case(&scripts, CheckpointMode::Dipper, LoggingMode::Physical, false, false)?;
+    }
+
+    // Epoch-batched durability legs: same equivalence contract with
+    // publishes that only store, one merged drain-side fence per
+    // combiner batch, and proven-durable flush elision active on the
+    // strict pmem simulator. (The torn-epoch window itself — a crash
+    // after the flag store but before the epoch fence — is injected
+    // deterministically in the dipper-level `torn_epoch_commit_is_demoted`
+    // test, where the record offset is known.)
+    #[test]
+    fn concurrent_crash_equivalence_dipper_epoch(scripts in script_strategy()) {
+        run_concurrent_case(&scripts, CheckpointMode::Dipper, LoggingMode::Logical, true, true)?;
+    }
+
+    #[test]
+    fn concurrent_crash_equivalence_cow_epoch(scripts in script_strategy()) {
+        run_concurrent_case(&scripts, CheckpointMode::Cow, LoggingMode::Logical, true, true)?;
     }
 }

@@ -99,20 +99,36 @@ pub struct LogStats {
     /// Combiner batches drained (one fence each);
     /// `commits_combined / commit_batches` is the mean fan-in.
     pub commit_batches: AtomicU64,
+    /// Committed records demoted by the walk because their body hash
+    /// mismatched — a commit flag that reached the media (spurious
+    /// eviction) before its record body's epoch fence.
+    pub torn_commits: AtomicU64,
+}
+
+/// A commit queued for the combiner/epoch drain.
+struct QueuedCommit {
+    /// Record pool offset.
+    off: usize,
+    /// Record length — the drain's body flush range under epoch
+    /// durability (0 in plain combining, where the publish already
+    /// flushed the body).
+    total_len: usize,
+    /// SSD durability deadline folded into this commit's epoch
+    /// (ns on [`dstore_telemetry::now_ns`]; 0 = no SSD write pending).
+    ssd_deadline: u64,
 }
 
 /// The flush combiner's shared state (§4.4's "group persistence" of
-/// commit flags): committers write their flag, enqueue its offset, and
-/// one elected thread drains the queue behind a single flush+fence.
+/// commit flags): committers enqueue their record, and one elected
+/// thread drains the queue behind a single flush+fence.
 #[derive(Default)]
 struct CommitCombiner {
-    /// Record offsets whose commit flags are written but not yet
-    /// persisted. Pushing and taking a ticket happen under this lock,
-    /// so tickets are dense in queue order.
-    queue: Mutex<Vec<usize>>,
-    /// Tickets handed out (== flags ever enqueued).
+    /// Commits not yet persisted. Pushing and taking a ticket happen
+    /// under this lock, so tickets are dense in queue order.
+    queue: Mutex<Vec<QueuedCommit>>,
+    /// Tickets handed out (== commits ever enqueued).
     tickets: AtomicU64,
-    /// Tickets whose flags have been persisted.
+    /// Tickets whose commits have been persisted.
     served: AtomicU64,
     /// Combiner election: whoever `try_lock`s this drains the queue.
     drain: Mutex<()>,
@@ -154,6 +170,12 @@ pub struct OpLog {
     /// otherwise each commit issues its own flush+fence. Written only by
     /// [`OpLog::set_commit_combining`] before the log is shared.
     combine_commits: bool,
+    /// Epoch-batched durability: publishes only *store* the record body
+    /// (no flush, no fence) and the elected drainer persists every body,
+    /// flag, and gap header of the batch behind **one** merged fence —
+    /// after waiting out the batch's slowest SSD submission. Written only
+    /// by [`OpLog::set_durability_epoch`] before the log is shared.
+    durability_epoch: bool,
     combiner: CommitCombiner,
 }
 
@@ -183,6 +205,7 @@ impl OpLog {
             stats: LogStats::default(),
             stall_timeout: std::time::Duration::from_secs(30),
             combine_commits: false,
+            durability_epoch: false,
             combiner: CommitCombiner::default(),
             pool,
             layout,
@@ -220,6 +243,7 @@ impl OpLog {
             stats: LogStats::default(),
             stall_timeout: std::time::Duration::from_secs(30),
             combine_commits: false,
+            durability_epoch: false,
             combiner: CommitCombiner::default(),
             pool,
             layout,
@@ -236,6 +260,29 @@ impl OpLog {
     /// is shared across threads (it takes `&mut`).
     pub fn set_commit_combining(&mut self, on: bool) {
         self.combine_commits = on;
+    }
+
+    /// Enables/disables epoch-batched durability. Call before the log is
+    /// shared across threads (it takes `&mut`).
+    ///
+    /// When on, [`Reservation::publish`] only *stores* the record body —
+    /// no flush, no fence — and every commit goes through the epoch
+    /// drain, which persists all bodies, flags, and gap headers of the
+    /// batch behind **one** merged [`PmemPool::persist_many`] after
+    /// waiting out the batch's slowest SSD submission. Also installs the
+    /// pool's proven-durable line tracker over the log region, so
+    /// re-flushes the model proves redundant (re-committed flag lines,
+    /// racing header-gap flushes, adjacent records sharing a line) are
+    /// elided.
+    pub fn set_durability_epoch(&mut self, on: bool) {
+        self.durability_epoch = on;
+        if on {
+            // Both log buffers + their headers; the root (offset 0) and
+            // the shadow/blackbox regions stay untracked.
+            let start = self.layout.log[0];
+            let end = self.layout.shadow[0];
+            self.pool.track_region(start, end - start);
+        }
     }
 
     /// The pool this log lives in.
@@ -429,12 +476,25 @@ impl OpLog {
     /// once its own flag is durable, so the commit's durability contract
     /// is unchanged — only the fence count drops.
     pub fn commit(&self, h: RecordHandle) {
+        self.commit_with_deadline(h, 0);
+    }
+
+    /// [`OpLog::commit`] with the operation's SSD durability deadline
+    /// (ns on [`dstore_telemetry::now_ns`]; 0 = no SSD write pending).
+    ///
+    /// Only meaningful under epoch durability, where the elected drainer
+    /// waits out the *batch maximum* deadline before storing any commit
+    /// flag — so one epoch fence covers log record + flag + SSD ack for
+    /// every record in the batch, and no flag can reach the media before
+    /// its operation's data is durable. Outside epoch mode callers wait
+    /// on the SSD synchronously before committing and pass 0.
+    pub fn commit_with_deadline(&self, h: RecordHandle, ssd_deadline: u64) {
         let _g = self.swap_lock.read();
         let off = match self.resolve(h) {
             Ok(off) => off,
             Err(()) => unreachable!("only the owner commits, and it commits once"),
         };
-        if !self.combine_commits {
+        if !self.combine_commits && !self.durability_epoch {
             record::write_commit(&self.pool, off, COMMIT_COMMITTED);
             let (mut ranges, hdr_target) = self.header_gap();
             ranges.push(record::commit_flag_range(off));
@@ -442,10 +502,27 @@ impl OpLog {
             self.hdr_durable.fetch_max(hdr_target, Ordering::AcqRel);
             return;
         }
-        record::write_commit(&self.pool, off, COMMIT_COMMITTED);
+        let entry = if self.durability_epoch {
+            // The flag store is deferred to the drain, after the epoch's
+            // SSD wait; the drain also flushes the whole body, which the
+            // publish left unflushed.
+            let (_, total_len) = record::read_word(&self.pool, off);
+            QueuedCommit {
+                off,
+                total_len,
+                ssd_deadline,
+            }
+        } else {
+            record::write_commit(&self.pool, off, COMMIT_COMMITTED);
+            QueuedCommit {
+                off,
+                total_len: 0,
+                ssd_deadline: 0,
+            }
+        };
         let ticket = {
             let mut q = self.combiner.queue.lock();
-            q.push(off);
+            q.push(entry);
             self.combiner.tickets.fetch_add(1, Ordering::Relaxed) + 1
         };
         // Offsets stay valid while every participant holds the swap lock
@@ -455,22 +532,50 @@ impl OpLog {
             if let Some(_d) = self.combiner.drain.try_lock() {
                 let batch = std::mem::take(&mut *self.combiner.queue.lock());
                 if !batch.is_empty() {
-                    let (mut ranges, hdr_target) = self.header_gap();
-                    ranges.extend(batch.iter().map(|&off| record::commit_flag_range(off)));
-                    self.pool.persist_many(&ranges);
-                    self.hdr_durable.fetch_max(hdr_target, Ordering::AcqRel);
-                    self.stats.commit_batches.fetch_add(1, Ordering::Relaxed);
-                    self.stats
-                        .commits_combined
-                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    self.combiner
-                        .served
-                        .fetch_add(batch.len() as u64, Ordering::Release);
+                    self.drain_batch(&batch);
                 }
             } else {
                 backoff.snooze();
             }
         }
+    }
+
+    /// Drains one combiner batch / durability epoch behind a single
+    /// merged fence. Under epoch durability this first waits out the
+    /// batch's slowest SSD submission, then stores every commit flag and
+    /// persists all record bodies plus the header gap; in plain combining
+    /// the flags were stored (and the bodies flushed) by the committers,
+    /// so only the flag lines and the gap need persisting.
+    fn drain_batch(&self, batch: &[QueuedCommit]) {
+        if self.durability_epoch {
+            let deadline = batch.iter().map(|e| e.ssd_deadline).max().unwrap_or(0);
+            if deadline > 0 {
+                let now = dstore_telemetry::now_ns();
+                if deadline > now {
+                    // The submissions are in flight; yield the core so
+                    // other committers overlap their work with this wait.
+                    dstore_pmem::latency::yield_wait_ns(deadline - now);
+                }
+            }
+            for e in batch {
+                record::write_commit(&self.pool, e.off, COMMIT_COMMITTED);
+            }
+        }
+        let (mut ranges, hdr_target) = self.header_gap();
+        if self.durability_epoch {
+            ranges.extend(batch.iter().map(|e| (e.off, e.total_len)));
+        } else {
+            ranges.extend(batch.iter().map(|e| record::commit_flag_range(e.off)));
+        }
+        self.pool.persist_many(&ranges);
+        self.hdr_durable.fetch_max(hdr_target, Ordering::AcqRel);
+        self.stats.commit_batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .commits_combined
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.combiner
+            .served
+            .fetch_add(batch.len() as u64, Ordering::Release);
     }
 
     /// Whether two handles refer to the same (still-pending) record,
@@ -567,6 +672,7 @@ impl OpLog {
                 st.next_lsn += 1;
                 record::write_header(&self.pool, new_tail, lsn, len, rec.op, &rec.name);
                 record::write_params(&self.pool, new_tail, rec.name.len(), &rec.params);
+                record::write_body_hash(&self.pool, new_tail);
                 record::flush_record(&self.pool, new_tail, len);
                 moves.push(((old_epoch, off), new_tail));
                 new_tail += len;
@@ -630,7 +736,18 @@ impl OpLog {
                 }
             }
             last = Some(lsn);
-            out.push(record::read_record(&self.pool, off));
+            let mut rec = record::read_record(&self.pool, off);
+            if rec.commit == COMMIT_COMMITTED && !record::body_hash_valid(&self.pool, off) {
+                // Torn epoch: the crash landed between the commit-flag
+                // store and the epoch fence, persisting the flag line
+                // (eviction) over a partially persisted body. Demoting is
+                // safe because no operation is acknowledged before its
+                // epoch fence completes.
+                record::set_commit(&self.pool, off, record::COMMIT_ABORTED);
+                rec.commit = record::COMMIT_ABORTED;
+                self.stats.torn_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            out.push(rec);
             off += len; // checksum-validated header: len is trustworthy
         }
         out
@@ -734,6 +851,18 @@ impl Reservation<'_> {
             "publish params length differs from the reserved length"
         );
         record::write_params(&self.log.pool, self.off, self.name_len, params);
+        record::write_body_hash(&self.log.pool, self.off);
+        if self.log.durability_epoch {
+            // Epoch durability: stores only. The commit drain persists the
+            // whole body behind the batch fence and advances the durable
+            // header frontier; the body hash above lets recovery demote a
+            // committed flag whose body the crash tore.
+            return AppendResult {
+                handle: self.handle(),
+                conflicts: self.conflicts,
+                lsn: self.lsn,
+            };
+        }
         record::flush_record(&self.log.pool, self.off, self.total_len);
         // Contiguous-frontier fast path: if this record sits exactly at
         // the durable-header frontier, the flush above made everything
@@ -1082,6 +1211,86 @@ mod tests {
         let combined = log.stats().commits_combined.load(Ordering::Relaxed);
         assert_eq!(combined, 200, "every commit went through the combiner");
         assert!((1..=200).contains(&batches));
+    }
+
+    #[test]
+    fn epoch_commits_are_durable() {
+        let (p, _l, mut log) = setup(1 << 20);
+        log.set_commit_combining(true);
+        log.set_durability_epoch(true);
+        let log = Arc::new(log);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let name = format!("t{t}-o{i}");
+                        let r = log.try_append(1, name.as_bytes(), &[t as u8]).unwrap();
+                        // Exercise the SSD-deadline fold: the drain must
+                        // wait out the batch max before fencing.
+                        log.commit_with_deadline(r.handle, dstore_telemetry::now_ns() + 2_000);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        p.simulate_crash();
+        let committed = log.committed_records(0);
+        assert_eq!(committed.len(), 200, "epoch fences must cover every record");
+        for r in &committed {
+            assert!(!r.params.is_empty());
+        }
+        let combined = log.stats().commits_combined.load(Ordering::Relaxed);
+        assert_eq!(combined, 200, "every commit went through the epoch drain");
+        assert_eq!(log.stats().torn_commits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn epoch_uncommitted_records_stay_pending_after_crash() {
+        let (p, _l, mut log) = setup(1 << 16);
+        log.set_commit_combining(true);
+        log.set_durability_epoch(true);
+        // Published but never committed: under epoch durability nothing of
+        // this record was flushed by the publish itself.
+        let _a = log.try_append(1, b"limbo", &[0xEE; 80]).unwrap();
+        // A later committed record's epoch drain flushes the header gap,
+        // so the walk can chain past the hole after the crash.
+        let b = log.try_append(1, b"solid", &[7; 10]).unwrap();
+        log.commit(b.handle);
+        p.simulate_crash();
+        let recs = log.walk(0);
+        assert_eq!(recs.len(), 2, "walk must chain past the uncommitted record");
+        assert_eq!(recs[0].commit, COMMIT_PENDING);
+        let committed = log.committed_records(0);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].name, b"solid");
+        assert_eq!(&committed[0].params[..10], &[7; 10]);
+    }
+
+    #[test]
+    fn torn_epoch_commit_is_demoted() {
+        let (p, _l, mut log) = setup(1 << 16);
+        log.set_commit_combining(true);
+        log.set_durability_epoch(true);
+        let r = log.try_append(1, b"torn", &[0xAB; 100]).unwrap();
+        let off = r.handle.off;
+        // Crash between the drain's flag store and its epoch fence: the
+        // flag line gets spuriously evicted, the rest of the body does
+        // not. No fence ever runs.
+        record::write_commit(&p, off, COMMIT_COMMITTED);
+        p.evict_lines(off, record::HEADER_LEN);
+        p.simulate_crash();
+        let recs = log.walk(0);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(
+            recs[0].commit,
+            record::COMMIT_ABORTED,
+            "committed flag over a torn body must be demoted"
+        );
+        assert_eq!(log.stats().torn_commits.load(Ordering::Relaxed), 1);
+        assert!(log.committed_records(0).is_empty());
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! DIPPER log records (Figure 3 of the paper).
 //!
 //! ```text
-//! ┌─────────────────────────────┬────┬────────┬──────────┬──────┬────────────┐
-//! │ word: lsn(48) | len(16)     │ op │ commit │ name_len │ hash │ name,params│
-//! │ 8 B — atomically persisted  │ 2B │  2B    │   2B     │ 8B   │  padded 8B │
-//! └─────────────────────────────┴────┴────────┴──────────┴──────┴────────────┘
+//! ┌─────────────────────────────┬────┬────────┬──────────┬──────┬───────────┬────────────┐
+//! │ word: lsn(48) | len(16)     │ op │ commit │ name_len │ hash │ body hash │ name,params│
+//! │ 8 B — atomically persisted  │ 2B │  2B    │   2B     │ 8B   │    8B     │  padded 8B │
+//! └─────────────────────────────┴────┴────────┴──────────┴──────┴───────────┴────────────┘
 //! ```
 //!
 //! * The first 8 bytes pack the LSN with the record length. PMEM persists
@@ -17,10 +17,17 @@
 //!   the LSN word persists last among the explicit flushes.
 //! * The `commit` flag is set only after the operation's data is durable
 //!   (§4.5); recovery replays exclusively committed records.
+//! * The `body hash` ([`write_body_hash`]) covers the name + padded params
+//!   and is written at publish. Under epoch-batched durability the commit
+//!   flag and the record body persist behind the *same* fence, so a
+//!   spurious eviction can land the flag line on media before the body
+//!   lines — the walk demotes committed records whose body hash mismatches
+//!   (safe: the operation is never acknowledged before its epoch fence
+//!   returns).
 //!
-//! The header is 24 bytes + an 8-byte name hash; with the two u64
-//! parameters of a typical write this matches the paper's "32 B plus the
-//! object name" record size.
+//! The fixed header is 32 bytes; with the two u64 parameters of a typical
+//! write this matches the paper's "32 B plus the object name" record-size
+//! class.
 
 use dstore_pmem::PmemPool;
 
@@ -74,8 +81,11 @@ const OFF_NAME_LEN: usize = 12;
 /// per-record CRCs production logs carry.
 const OFF_CHECK: usize = 14;
 const OFF_HASH: usize = 16;
+/// FNV-1a over the record body (name + padded params), written at publish
+/// — the torn-epoch guard (see module docs).
+const OFF_BODY_HASH: usize = 24;
 /// Start of the variable-length section (name then params).
-pub const HEADER_LEN: usize = 24;
+pub const HEADER_LEN: usize = 32;
 
 /// Maximum record length (len field is 16 bits).
 pub const MAX_RECORD_LEN: usize = u16::MAX as usize & !7;
@@ -174,6 +184,32 @@ pub fn write_params(pool: &PmemPool, off: usize, name_len: usize, params: &[u8])
     if !params.is_empty() {
         pool.write_bytes(off + HEADER_LEN + name_len, params);
     }
+}
+
+/// Reads the record's body (name + padded params) back from the pool.
+fn read_body(pool: &PmemPool, off: usize) -> Vec<u8> {
+    let (_, total_len) = read_word(pool, off);
+    let mut body = vec![0u8; total_len.saturating_sub(HEADER_LEN)];
+    if !body.is_empty() {
+        pool.read_bytes(off + HEADER_LEN, &mut body);
+    }
+    body
+}
+
+/// Computes and stores the record's body hash. Must run after
+/// [`write_params`] (it hashes the body bytes as they sit in the pool,
+/// including the alignment padding, so a post-crash
+/// [`body_hash_valid`] recomputes over exactly the same bytes).
+pub fn write_body_hash(pool: &PmemPool, off: usize) {
+    let h = name_hash(&read_body(pool, off));
+    pool.write_u64(off + OFF_BODY_HASH, h);
+}
+
+/// Whether the record's body bytes match the body hash stored at publish.
+/// False means the record's commit flag reached the media without its body
+/// (a torn epoch); the walk demotes such records to aborted.
+pub fn body_hash_valid(pool: &PmemPool, off: usize) -> bool {
+    pool.read_u64(off + OFF_BODY_HASH) == name_hash(&read_body(pool, off))
 }
 
 /// Flushes all cache lines of the record in **reverse** order, then
@@ -332,18 +368,33 @@ mod tests {
     #[test]
     fn encoded_len_is_aligned_and_minimal() {
         assert_eq!(encoded_len(0, 0), HEADER_LEN);
-        assert_eq!(encoded_len(1, 0), 32);
-        assert_eq!(encoded_len(8, 0), 32);
-        assert_eq!(encoded_len(8, 16), 48);
+        assert_eq!(encoded_len(1, 0), 40);
+        assert_eq!(encoded_len(8, 0), 40);
+        assert_eq!(encoded_len(8, 16), 56);
         assert_eq!(encoded_len(5, 16) % 8, 0);
     }
 
     #[test]
     fn paper_record_size_claim() {
         // "the size of each log record is just 32B plus the object name":
-        // with the two u64 params of a typical write we are 40 B + name —
-        // same cache-line class for names up to 24 B.
+        // with the two u64 params of a typical write we are 48 B + name —
+        // same cache-line class for names up to 16 B.
         assert!(encoded_len(0, 16) <= 64);
+    }
+
+    #[test]
+    fn body_hash_detects_torn_body() {
+        let p = PmemPool::anon(1 << 16);
+        let name = b"torn/object";
+        let params = [0x5Au8; 24];
+        let len = encoded_len(name.len(), params.len());
+        write_header(&p, 0, 11, len, 2, name);
+        write_params(&p, 0, name.len(), &params);
+        write_body_hash(&p, 0);
+        assert!(body_hash_valid(&p, 0));
+        // Tear one params byte — the hash must catch it.
+        p.write_bytes(HEADER_LEN + name.len() + 3, &[0xFF]);
+        assert!(!body_hash_valid(&p, 0));
     }
 
     #[test]

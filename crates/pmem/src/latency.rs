@@ -26,6 +26,37 @@ pub fn spin_for_ns(ns: u64) {
     }
 }
 
+/// Waits `ns` nanoseconds like [`spin_for_ns`], but **yields the CPU**
+/// while more than a couple of microseconds remain, busy-spinning only
+/// the final stretch for precision.
+///
+/// Use this for waits on *already-submitted* device work (an NVMe
+/// completion deadline): the modelled device is doing the work, so the
+/// real CPU is schedulable in the meantime. A pure spin would serialize
+/// exactly the overlap an asynchronous submission exists to create on
+/// hosts with fewer cores than client threads. Synchronous charges
+/// ([`LatencyModel`], `charge_write`) keep spinning — there the op
+/// itself occupies the issuing context.
+pub fn yield_wait_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    let target = Duration::from_nanos(ns);
+    let spin_tail = Duration::from_micros(2);
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= target {
+            return;
+        }
+        if target - elapsed > spin_tail {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
 /// Latency/bandwidth model for an emulated PMEM device.
 ///
 /// All costs default to **zero** so unit tests run at memory speed; bench

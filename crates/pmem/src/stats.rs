@@ -25,6 +25,12 @@ pub struct PmemStats {
     pub bulk_read_bytes: AtomicU64,
     /// Cache lines persisted by simulated spurious evictions.
     pub evicted_lines: AtomicU64,
+    /// Duplicate cache lines merged away inside a `persist_many` batch
+    /// (overlapping ranges flushed once instead of twice).
+    pub dedup_lines: AtomicU64,
+    /// Cache-line flushes elided because the proven-durable tracker showed
+    /// the line already persistent (flushed + fenced with no newer store).
+    pub elided_lines: AtomicU64,
 }
 
 /// A point-in-time copy of [`PmemStats`].
@@ -46,6 +52,10 @@ pub struct PmemSnapshot {
     pub bulk_read_bytes: u64,
     /// Cache lines persisted by simulated spurious evictions.
     pub evicted_lines: u64,
+    /// Duplicate cache lines merged away inside `persist_many` batches.
+    pub dedup_lines: u64,
+    /// Cache-line flushes elided by the proven-durable tracker.
+    pub elided_lines: u64,
 }
 
 impl PmemStats {
@@ -80,6 +90,16 @@ impl PmemStats {
         self.evicted_lines.fetch_add(lines, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn record_dedup_lines(&self, lines: u64) {
+        self.dedup_lines.fetch_add(lines, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_elided_lines(&self, lines: u64) {
+        self.elided_lines.fetch_add(lines, Ordering::Relaxed);
+    }
+
     /// Total bytes that reached the persistent medium.
     pub fn total_write_bytes(&self) -> u64 {
         self.flush_bytes.load(Ordering::Relaxed) + self.bulk_write_bytes.load(Ordering::Relaxed)
@@ -95,6 +115,8 @@ impl PmemStats {
             bulk_write_bytes: self.bulk_write_bytes.load(Ordering::Relaxed),
             bulk_read_bytes: self.bulk_read_bytes.load(Ordering::Relaxed),
             evicted_lines: self.evicted_lines.load(Ordering::Relaxed),
+            dedup_lines: self.dedup_lines.load(Ordering::Relaxed),
+            elided_lines: self.elided_lines.load(Ordering::Relaxed),
         }
     }
 }
@@ -146,6 +168,8 @@ mod tests {
         s.record_bulk_write(4096);
         s.record_bulk_read(100);
         s.record_evictions(3);
+        s.record_dedup_lines(2);
+        s.record_elided_lines(5);
         let snap = s.snapshot();
         assert_eq!(snap.flush_bytes, 192);
         assert_eq!(snap.flush_ops, 2);
@@ -153,6 +177,8 @@ mod tests {
         assert_eq!(snap.bulk_write_bytes, 4096);
         assert_eq!(snap.bulk_read_bytes, 100);
         assert_eq!(snap.evicted_lines, 3);
+        assert_eq!(snap.dedup_lines, 2);
+        assert_eq!(snap.elided_lines, 5);
         assert_eq!(s.total_write_bytes(), 192 + 4096);
     }
 

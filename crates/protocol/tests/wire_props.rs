@@ -74,6 +74,21 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 spans_dropped: n >> 8,
             })
         }),
+        1 => (any::<u64>(), any::<u64>(), 0u32..4).prop_map(|(flushes, fences, shard)| {
+            // The ordering-accounting counters as a sharded fleet merge
+            // exports them: per-shard labels on every series.
+            let mut snap = dstore_telemetry::TelemetrySnapshot::new();
+            let labels = vec![("shard".to_string(), shard.to_string())];
+            snap.push_counter("dstore_pmem_flushes_total", labels.clone(), flushes);
+            snap.push_counter("dstore_pmem_fences_total", labels.clone(), fences);
+            snap.push_counter("dstore_pmem_dedup_lines_total", labels.clone(), flushes ^ fences);
+            snap.push_counter(
+                "dstore_pmem_elided_lines_total",
+                labels,
+                flushes.wrapping_add(fences),
+            );
+            Response::Telemetry(snap)
+        }),
         1 => (any::<u64>(), any::<u64>()).prop_map(|(lsn, n)| {
             Response::CrashReports(vec![
                 None,

@@ -114,6 +114,53 @@ impl SsdDevice {
         }
     }
 
+    /// Submits `data` at `page` without waiting for device time: the copy
+    /// lands in the power-loss-protected write cache immediately and the
+    /// returned value is the command's completion deadline in
+    /// [`dstore_telemetry::now_ns`] nanoseconds. The write is durable once
+    /// that deadline passes — wait on it with [`SsdDevice::wait_durable`],
+    /// or fold it into a group-commit epoch so one wait covers a whole
+    /// batch. Models the same per-command device time as
+    /// [`SsdDevice::write_pages`] (the paper's wide-open 28-queue-slot
+    /// P4800X calibration), just without blocking the submitter.
+    pub fn submit_write_pages(&self, page: PageNo, data: &[u8]) -> u64 {
+        assert!(
+            data.len().is_multiple_of(PAGE_SIZE) && !data.is_empty(),
+            "ssd writes are whole pages (got {} bytes)",
+            data.len()
+        );
+        let count = data.len() / PAGE_SIZE;
+        self.check(page, count);
+        self.stats.record_write(data.len() as u64);
+        // SAFETY: bounds checked; raw copy, no references formed; callers
+        // synchronize same-page access per the type contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                self.backing.as_ptr().add(page as usize * PAGE_SIZE),
+                data.len(),
+            );
+        }
+        dstore_telemetry::now_ns() + self.latency.write_cost_ns(data.len())
+    }
+
+    /// Blocks until `deadline_ns` (a [`SsdDevice::submit_write_pages`]
+    /// return value) has passed — the point where that submission is
+    /// durable. A deadline of 0 (or one already in the past) returns
+    /// immediately.
+    pub fn wait_durable(&self, deadline_ns: u64) {
+        if deadline_ns == 0 {
+            return;
+        }
+        let now = dstore_telemetry::now_ns();
+        if deadline_ns > now {
+            // Yielding wait: the submission is in flight on the modelled
+            // device, so the CPU stays schedulable (a real waiter polls a
+            // completion queue or blocks on an interrupt).
+            dstore_pmem::latency::yield_wait_ns(deadline_ns - now);
+        }
+    }
+
     /// Writes a partial page: `data` at byte `offset` within `page`.
     /// Models the read-modify-write the device performs for sub-page IO
     /// (charged as a full-page write, which is why the paper says small
@@ -268,6 +315,32 @@ mod tests {
             buf.iter().all(|&b| b == 0x77),
             "device cache is power-loss protected"
         );
+    }
+
+    #[test]
+    fn submitted_writes_are_visible_and_survive_crash() {
+        let d = SsdDevice::anon(8).with_latency(SsdLatency::p4800x());
+        let before = dstore_telemetry::now_ns();
+        let deadline = d.submit_write_pages(3, &page_of(0x5C));
+        assert!(
+            deadline > before,
+            "deadline must charge the device write cost"
+        );
+        d.wait_durable(deadline);
+        assert!(dstore_telemetry::now_ns() >= deadline);
+        d.simulate_crash();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        d.read_pages(3, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0x5C));
+        assert_eq!(d.stats().snapshot().write_bytes, PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn wait_durable_zero_returns_immediately() {
+        let d = SsdDevice::anon(2);
+        d.wait_durable(0);
+        // Already-past deadlines are also free.
+        d.wait_durable(1);
     }
 
     #[test]

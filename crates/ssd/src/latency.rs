@@ -57,11 +57,16 @@ impl SsdLatency {
             && self.read_ns_per_byte == 0.0
     }
 
+    /// Device time one write command of `bytes` payload takes, in ns.
+    #[inline]
+    pub fn write_cost_ns(&self, bytes: usize) -> u64 {
+        self.write_base_ns + (bytes as f64 * self.write_ns_per_byte) as u64
+    }
+
     /// Charges one write command of `bytes` payload.
     #[inline]
     pub fn charge_write(&self, bytes: usize) {
-        let ns = self.write_base_ns + (bytes as f64 * self.write_ns_per_byte) as u64;
-        spin_for_ns(ns);
+        spin_for_ns(self.write_cost_ns(bytes));
     }
 
     /// Charges one read command of `bytes` payload.

@@ -128,6 +128,7 @@ fn frame(
             totals[i as usize] as f64 / mean,
         );
     }
+    print_ordering(&snap, prev_snap);
     print_replay(&snap);
     print_outliers(&snap);
     let panics = snap.counter_total("dstore_checkpoint_panics_total");
@@ -185,6 +186,29 @@ fn print_outliers(snap: &TelemetrySnapshot) {
             println!("{line}");
         }
     }
+}
+
+/// Ordering-tax panel: interval flushes-per-op / fences-per-op across
+/// the fleet, plus what the minimally-ordered durability machinery
+/// saved (cache lines merged inside `persist_many` batches and flushes
+/// elided by the proven-durable tracker). The per-op ratios are the
+/// live view of the `micro_ops` fence budget.
+fn print_ordering(snap: &TelemetrySnapshot, prev: &TelemetrySnapshot) {
+    let delta = |name: &str| {
+        snap.counter_total(name)
+            .saturating_sub(prev.counter_total(name))
+    };
+    let ops = delta("dstore_ops_total");
+    if ops == 0 {
+        return;
+    }
+    println!(
+        "\n  ordering  flushes/op {:>6.2}   fences/op {:>6.2}   dedup lines {:>8}   elided lines {:>8}",
+        delta("dstore_pmem_flushes_total") as f64 / ops as f64,
+        delta("dstore_pmem_fences_total") as f64 / ops as f64,
+        delta("dstore_pmem_dedup_lines_total"),
+        delta("dstore_pmem_elided_lines_total"),
+    );
 }
 
 /// RPCs carried by the wire protocol, in `dstore_server`'s label order.
@@ -329,6 +353,7 @@ fn remote_frame(
         println!();
     }
 
+    print_ordering(&snap, prev_snap);
     print_replay(&snap);
     print_outliers(&snap);
     if health.checkpoint_panics > 0 {
