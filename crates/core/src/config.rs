@@ -125,6 +125,16 @@ pub struct DStoreConfig {
     /// Defaults to the host's available parallelism, overridable with
     /// the `DSTORE_REPLAY_THREADS` environment variable.
     pub replay_threads: usize,
+    /// Optimistic lock coupling on the object-index B-tree: gets, stats
+    /// and exists descend latch-free (seqlock validation, restart on
+    /// conflict), puts and deletes latch only the nodes they touch, and
+    /// OE-parallel replay workers share the tree without a global lock.
+    /// When off, every index access serializes on the store-wide
+    /// `btree_lock` RwLock — the pre-OLC baseline. Defaults to on,
+    /// overridable with the `DSTORE_INDEX_OLC` environment variable
+    /// (`0`/`false`/`off` disables — CI pins its global-lock leg through
+    /// this).
+    pub index_olc: bool,
     /// Crash-persistent flight recorder (requires `telemetry`): a small
     /// PMEM region that mirrors retained op traces, a heartbeat record,
     /// and lifecycle events, exhumed after a crash into
@@ -198,6 +208,7 @@ impl Default for DStoreConfig {
             trace: TraceConfig::default(),
             stall_timeout: Duration::from_secs(30),
             replay_threads: default_replay_threads(),
+            index_olc: default_index_olc(),
             blackbox: BlackBoxConfig::default(),
         }
     }
@@ -220,6 +231,16 @@ fn default_replay_threads() -> usize {
 fn default_durability_epoch() -> bool {
     !matches!(
         std::env::var("DSTORE_DURABILITY_EPOCH").as_deref(),
+        Ok("0") | Ok("false") | Ok("off")
+    )
+}
+
+/// Default for [`DStoreConfig::index_olc`]: on, unless the
+/// `DSTORE_INDEX_OLC` environment variable disables it
+/// (`0`/`false`/`off`).
+fn default_index_olc() -> bool {
+    !matches!(
+        std::env::var("DSTORE_INDEX_OLC").as_deref(),
         Ok("0") | Ok("false") | Ok("off")
     )
 }
@@ -303,6 +324,12 @@ impl DStoreConfig {
     /// (`1` = serial).
     pub fn with_replay_threads(mut self, threads: usize) -> Self {
         self.replay_threads = threads;
+        self
+    }
+    /// Enables/disables optimistic lock coupling on the object index
+    /// (off = global `btree_lock` baseline).
+    pub fn with_index_olc(mut self, on: bool) -> Self {
+        self.index_olc = on;
         self
     }
     /// Sets the crash-persistent flight-recorder configuration.
@@ -431,6 +458,8 @@ mod tests {
         // DSTORE_DURABILITY_EPOCH may be pinned off in CI legs; both
         // values are valid defaults.
         let _ = c.durability_epoch;
+        // DSTORE_INDEX_OLC may be pinned off in CI legs likewise.
+        let _ = c.index_olc;
         assert_eq!(c.pool_shards, 8);
         assert!(c.replay_threads >= 1);
     }
@@ -514,6 +543,7 @@ mod tests {
             .with_pool_shards(4)
             .with_parallel_persistence(false)
             .with_durability_epoch(false)
+            .with_index_olc(false)
             .with_replay_threads(2)
             .with_trace(TraceConfig {
                 sample_every: 16,
@@ -527,6 +557,7 @@ mod tests {
         assert_eq!(c.pool_shards, 4);
         assert!(!c.parallel_persistence);
         assert!(!c.durability_epoch);
+        assert!(!c.index_olc);
         assert_eq!(c.replay_threads, 2);
         assert!(c.strict_pmem);
         assert!(c.trace.enabled);

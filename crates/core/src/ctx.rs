@@ -246,11 +246,14 @@ impl DsContext {
         )?;
 
         // Steps ⑥⑦: metadata entry + B-tree, outside the synchronous
-        // region (OE).
+        // region (OE). Under OLC (the default) no whole-tree lock is
+        // taken — the insert latches only the leaf path it restructures.
         let t = bd.is_some().then(now_ns);
         {
-            let _bt = inner.btree_lock.write();
-            inner.domain().install_put(key, size, &plan, lsn);
+            let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.write());
+            inner
+                .domain()
+                .install_put_sync(key, size, &plan, lsn, &inner.index_sync());
         }
         at.mark(SEG_INDEX);
         let install_ns = t.map(|t| now_ns().saturating_sub(t)).unwrap_or(0);
@@ -320,9 +323,16 @@ impl DsContext {
                 continue;
             }
             let (size, blocks) = {
-                let _bt = inner.btree_lock.read();
+                let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.read());
                 let d = inner.domain();
-                let e = d.lookup(key).ok_or(DsError::NotFound)?;
+                // The `btree` segment is charged from the descent itself
+                // (OLC restart loops included), not from a lock-acquire
+                // span that no longer exists under OLC.
+                let e = inner
+                    .index_sync()
+                    .lookup(&d, key)
+                    .ok_or(DsError::NotFound)?;
+                at.mark(SEG_INDEX);
                 let (size, _, blocks) = d.read_entry(e);
                 (size, blocks)
             };
@@ -375,8 +385,8 @@ impl DsContext {
             &mut at,
         )?;
         {
-            let _bt = inner.btree_lock.write();
-            inner.domain().install_delete(key);
+            let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.write());
+            inner.domain().install_delete_sync(key, &inner.index_sync());
         }
         at.mark(SEG_INDEX);
         // Unregister before commit (see put_timed).
@@ -390,8 +400,11 @@ impl DsContext {
 
     /// Whether `key` exists.
     pub fn exists(&self, key: &[u8]) -> bool {
-        let _bt = self.inner.btree_lock.read();
-        self.inner.domain().lookup(key).is_some()
+        let inner = &self.inner;
+        let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.read());
+        // No entry dereference here — an optimistic descent alone is
+        // safe against concurrent deletes.
+        inner.index_sync().lookup(&inner.domain(), key).is_some()
     }
 
     /// Size of the object under `key`.
@@ -402,30 +415,54 @@ impl DsContext {
     /// Metadata snapshot of the object under `key`.
     pub fn stat(&self, key: &[u8]) -> DsResult<ObjectStat> {
         Self::check_name(key)?;
-        let _bt = self.inner.btree_lock.read();
-        let d = self.inner.domain();
-        let e = d.lookup(key).ok_or(DsError::NotFound)?;
-        // SAFETY: entry live; short read under the index lock (field reads
-        // race only with same-object writers, which CC excludes for
-        // correctness-critical paths; stat is advisory).
-        let (size, version, blocks) = d.read_entry(e);
-        let mtime_lsn = unsafe { (*d.arena().resolve(e)).mtime_lsn };
-        Ok(ObjectStat {
-            size,
-            version,
-            blocks: blocks.len() as u64,
-            mtime_lsn,
-        })
+        let inner = &self.inner;
+        loop {
+            // Same CC dance as `get`: under OLC the reader registration —
+            // not the index lock — is what keeps a concurrent delete from
+            // freeing the entry mid-read.
+            let _guard = inner.readers.begin_read(key);
+            if inner.writers.contains(key) {
+                drop(_guard);
+                inner.stats.rw_backoffs.fetch_add(1, Ordering::Relaxed);
+                inner.writers.wait_clear(key);
+                continue;
+            }
+            let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.read());
+            let d = inner.domain();
+            let e = inner
+                .index_sync()
+                .lookup(&d, key)
+                .ok_or(DsError::NotFound)?;
+            // SAFETY: entry live (reader registered, no in-flight writer on
+            // this object — CC excludes the freeing delete).
+            let (size, version, blocks) = d.read_entry(e);
+            let mtime_lsn = unsafe { (*d.arena().resolve(e)).mtime_lsn };
+            return Ok(ObjectStat {
+                size,
+                version,
+                blocks: blocks.len() as u64,
+                mtime_lsn,
+            });
+        }
     }
 
     /// All object names, ascending.
     pub fn list(&self) -> Vec<Vec<u8>> {
-        let _bt = self.inner.btree_lock.read();
+        let inner = &self.inner;
+        if inner.cfg.index_olc {
+            // Optimistic snapshot scan: retries whole-scan on conflict,
+            // so the result is a point-in-time listing.
+            return inner
+                .domain()
+                .btree()
+                .entries_olc(&inner.index_stats)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+        }
+        let _bt = inner.btree_lock.read();
         let mut out = vec![];
-        self.inner
-            .domain()
-            .btree()
-            .for_each(|k, _| out.push(k.to_vec()));
+        inner.domain().btree().for_each(|k, _| out.push(k.to_vec()));
         out
     }
 
@@ -433,9 +470,19 @@ impl DsContext {
     /// listing over the B-tree index (touches only O(log n + matches)
     /// nodes).
     pub fn list_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
-        let _bt = self.inner.btree_lock.read();
+        let inner = &self.inner;
+        if inner.cfg.index_olc {
+            return inner
+                .domain()
+                .btree()
+                .collect_prefix_olc(prefix, &inner.index_stats)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+        }
+        let _bt = inner.btree_lock.read();
         let mut out = vec![];
-        self.inner
+        inner
             .domain()
             .btree()
             .for_each_prefix(prefix, |k, _| out.push(k.to_vec()));
@@ -472,8 +519,14 @@ impl DsContext {
                         &mut ActiveTrace::disabled(),
                     )?;
                     {
-                        let _bt = inner.btree_lock.write();
-                        inner.domain().install_put(name, size, &plan, lsn);
+                        let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.write());
+                        inner.domain().install_put_sync(
+                            name,
+                            size,
+                            &plan,
+                            lsn,
+                            &inner.index_sync(),
+                        );
                     }
                     inner.writers.unregister(name);
                     inner.log.commit(handle);
@@ -577,6 +630,9 @@ impl DsContext {
         enum Outcome<'l, P> {
             Full,
             Conflicts(Vec<dstore_dipper::RecordHandle>),
+            /// OLC only: an in-flight writer is mid-install on this name,
+            /// so the encode/plan closures' entry reads are not safe yet.
+            WriterBusy,
             Starved,
             Failed(DsError),
             Done(AppendResult, P),
@@ -598,7 +654,7 @@ impl DsContext {
                 0
             };
             at.mark_at(SEG_CC_WAIT, t_log);
-            let outcome: Outcome<'_, P> = {
+            let outcome: Outcome<'_, P> = 'outcome: {
                 // Step ①: lock the pools — the name's shard (parallel),
                 // every shard in index order (steal retry), or the single
                 // pool lock (serialized baseline).
@@ -621,8 +677,20 @@ impl DsContext {
                     false
                 };
                 let d = inner.domain();
+                let olc = inner.cfg.index_olc;
+                // Under OLC the whole-tree lock is gone, so the entry
+                // reads inside the encode/plan closures are protected by
+                // reader registration (§4.4) instead: a writer drains
+                // registered readers before it installs, and if one is
+                // already mid-install on this name we back off like a WW
+                // conflict (its record is uncommitted, so the reservation
+                // scan would bounce us anyway). The guard drops at step ⑤.
+                let _read_guard = olc.then(|| inner.readers.begin_read(name));
+                if olc && inner.writers.contains(name) {
+                    break 'outcome Outcome::WriterBusy;
+                }
                 let (op, params) = {
-                    let _bt = inner.btree_lock.read();
+                    let _bt = (!olc).then(|| inner.btree_lock.read());
                     encode(&d, inner.cfg.logging)
                 };
                 // Step ②a: reserve the record slot (short serialized
@@ -646,7 +714,7 @@ impl DsContext {
                             // Steps ③/④: pool allocations, in per-shard
                             // log order.
                             let p = {
-                                let _bt = inner.btree_lock.read();
+                                let _bt = (!olc).then(|| inner.btree_lock.read());
                                 plan(&d, allow_steal)
                             };
                             match p {
@@ -715,6 +783,16 @@ impl DsContext {
                     for c in &conflicts {
                         inner.log.wait_committed(*c);
                     }
+                    at.mark(SEG_CC_WAIT);
+                    continue;
+                }
+                Outcome::WriterBusy => {
+                    // The writer unregisters before it commits, so this
+                    // wait is bounded by that op's install, not its flush.
+                    inner.stats.rw_backoffs.fetch_add(1, Ordering::Relaxed);
+                    drop(_global);
+                    drop(_drain);
+                    inner.writers.wait_clear(name);
                     at.mark(SEG_CC_WAIT);
                     continue;
                 }
@@ -951,9 +1029,13 @@ impl ObjectHandle<'_> {
                 continue;
             }
             let (size, blocks) = {
-                let _bt = inner.btree_lock.read();
+                let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.read());
                 let d = inner.domain();
-                let e = d.lookup(&self.name).ok_or(DsError::NotFound)?;
+                let e = inner
+                    .index_sync()
+                    .lookup(&d, &self.name)
+                    .ok_or(DsError::NotFound)?;
+                at.mark(SEG_INDEX);
                 let (size, _, blocks) = d.read_entry(e);
                 (size, blocks)
             };
@@ -1009,8 +1091,10 @@ impl ObjectHandle<'_> {
             &mut at,
         )?;
         {
-            let _bt = inner.btree_lock.write();
-            inner.domain().install_extend(&self.name, &plan, lsn);
+            let _bt = (!inner.cfg.index_olc).then(|| inner.btree_lock.write());
+            inner
+                .domain()
+                .install_extend_sync(&self.name, &plan, lsn, &inner.index_sync());
         }
         at.mark(SEG_INDEX);
         // Data: sub-page head/tail via partial writes, whole pages via

@@ -31,7 +31,7 @@ use crate::ops::{self, ExtendParams, PhysImage, PutParams};
 use dstore_arena::{Arena, ArenaPod, Memory, RelPtr};
 use dstore_dipper::record::{self, OwnedRecord};
 use dstore_dipper::OP_NOOP;
-use dstore_index::{fnv1a, BTreeHandle, BTreeHeader};
+use dstore_index::{fnv1a, BTreeHandle, BTreeHeader, OlcStats};
 use parking_lot::RwLock;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -191,51 +191,88 @@ pub struct DeletePlan {
 /// The frontend and serial replay run inside their own critical sections
 /// and pass [`IndexSync::Exclusive`] (no locking here). OE-parallel
 /// replay workers each own disjoint pool shards — their pool and
-/// metadata-entry accesses never collide — but they share one B-tree,
-/// so lookups ride a shared `read` lock and structural mutations
-/// (insert/remove, which may split or merge nodes) take it `write`.
-/// Write-lock *hold* time is charged to `write_ns`: the sum across
-/// workers is the replay's irreducibly serialized portion, the
-/// admission-rate denominator the fig13 bench reports.
+/// metadata-entry accesses never collide — but they share one B-tree.
+/// With the default OLC index ([`IndexSync::Olc`]) they coordinate
+/// through the tree's own per-node version latches: lookups descend
+/// latch-free and inserts/removes latch only the nodes they touch, so
+/// nothing is charged as serialized time. The pre-OLC
+/// [`IndexSync::Shared`] mode (config `index_olc = false`) instead rides
+/// a shared `RwLock`: lookups take it `read`, structural mutations take
+/// it `write`, and write-lock *hold* time is charged to `write_ns` —
+/// the sum across workers is that mode's irreducibly serialized portion,
+/// the admission-rate denominator the fig13 bench reports.
 pub enum IndexSync<'l> {
     /// Caller already has exclusive access (frontend critical section,
     /// single-threaded replay).
     Exclusive,
-    /// Concurrent distinct-shard replay: B-tree reads share `lock`,
-    /// structural mutations take it exclusively.
+    /// Concurrent distinct-shard replay, global-lock mode: B-tree reads
+    /// share `lock`, structural mutations take it exclusively.
     Shared {
         /// The B-tree lock shared by every worker of one replay window.
         lock: &'l RwLock<()>,
         /// Accumulated write-lock hold time (ns) across workers.
         write_ns: &'l AtomicU64,
     },
+    /// Concurrent access through the tree's optimistic lock coupling —
+    /// no shared lock at all; conflicts surface as counted restarts.
+    Olc {
+        /// Restart/latch-wait counters (store-wide).
+        stats: &'l OlcStats,
+    },
 }
 
 impl IndexSync<'_> {
-    /// Runs `f` with the B-tree readable (and not being restructured).
+    /// Looks up `name`'s metadata entry in `d`'s B-tree under this sync
+    /// mode.
     #[inline]
-    fn read<R>(&self, f: impl FnOnce() -> R) -> R {
+    pub fn lookup<M: Memory>(&self, d: &Domain<'_, M>, name: &[u8]) -> Option<RelPtr<MetaEntry>> {
         match self {
-            IndexSync::Exclusive => f(),
+            IndexSync::Exclusive => d.lookup(name),
             IndexSync::Shared { lock, .. } => {
                 let _g = lock.read();
-                f()
+                d.lookup(name)
+            }
+            IndexSync::Olc { stats } => d.btree().get_olc(name, stats).map(RelPtr::from_offset),
+        }
+    }
+
+    /// Inserts `name → off` into `d`'s B-tree under this sync mode. In
+    /// `Shared` mode the write-lock hold time (not the wait time — that
+    /// would double-count contention) is charged to `write_ns`.
+    #[inline]
+    fn insert<M: Memory>(&self, d: &Domain<'_, M>, name: &[u8], off: u64) {
+        match self {
+            IndexSync::Exclusive => {
+                d.btree().insert(name, off);
+            }
+            IndexSync::Shared { lock, write_ns } => {
+                let _g = lock.write();
+                let t = std::time::Instant::now();
+                d.btree().insert(name, off);
+                write_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            IndexSync::Olc { stats } => {
+                d.btree().insert_olc(name, off, stats);
             }
         }
     }
 
-    /// Runs `f` with the B-tree exclusively held, charging the hold
-    /// time (not the wait time — that would double-count contention).
+    /// Removes `name` from `d`'s B-tree under this sync mode (hold-time
+    /// charging as for [`IndexSync::insert`]).
     #[inline]
-    fn write<R>(&self, f: impl FnOnce() -> R) -> R {
+    fn remove<M: Memory>(&self, d: &Domain<'_, M>, name: &[u8]) {
         match self {
-            IndexSync::Exclusive => f(),
+            IndexSync::Exclusive => {
+                d.btree().remove(name);
+            }
             IndexSync::Shared { lock, write_ns } => {
                 let _g = lock.write();
                 let t = std::time::Instant::now();
-                let r = f();
+                d.btree().remove(name);
                 write_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                r
+            }
+            IndexSync::Olc { stats } => {
+                d.btree().remove_olc(name, stats);
             }
         }
     }
@@ -650,7 +687,7 @@ impl<'a, M: Memory> Domain<'a, M> {
         sync: &IndexSync<'_>,
     ) -> DsResult<PutPlan> {
         let need = blocks_for_geometry(size, self.block_bytes());
-        match sync.read(|| self.lookup(name)) {
+        match sync.lookup(self, name) {
             Some(e) => {
                 // SAFETY: CC guarantees no concurrent writer on `name`.
                 let (_, _, old_blocks) = self.read_entry(e);
@@ -706,7 +743,7 @@ impl<'a, M: Memory> Domain<'a, M> {
         allow_steal: bool,
         sync: &IndexSync<'_>,
     ) -> DsResult<ExtendPlan> {
-        let e = sync.read(|| self.lookup(name)).ok_or(DsError::NotFound)?;
+        let e = sync.lookup(self, name).ok_or(DsError::NotFound)?;
         let (size, _, mut blocks) = self.read_entry(e);
         let new_size = size.max(offset + len);
         let need = blocks_for_geometry(new_size, self.block_bytes());
@@ -724,7 +761,7 @@ impl<'a, M: Memory> Domain<'a, M> {
 
     /// [`Domain::plan_delete`] under an explicit B-tree sync mode.
     pub fn plan_delete_sync(&self, name: &[u8], sync: &IndexSync<'_>) -> DsResult<DeletePlan> {
-        let e = sync.read(|| self.lookup(name)).ok_or(DsError::NotFound)?;
+        let e = sync.lookup(self, name).ok_or(DsError::NotFound)?;
         let (_, _, blocks) = self.read_entry(e);
         let home = self.shard_of_name(name);
         for &b in &blocks {
@@ -775,7 +812,7 @@ impl<'a, M: Memory> Domain<'a, M> {
         lsn: u64,
         sync: &IndexSync<'_>,
     ) {
-        let (old_size, entry) = match sync.read(|| self.lookup(name)) {
+        let (old_size, entry) = match sync.lookup(self, name) {
             Some(e) => {
                 // SAFETY: CC excludes concurrent writers on this object.
                 let s = unsafe { (*self.arena.resolve(e)).size };
@@ -783,7 +820,7 @@ impl<'a, M: Memory> Domain<'a, M> {
             }
             None => {
                 let e: RelPtr<MetaEntry> = self.arena.alloc();
-                sync.write(|| self.btree().insert(name, e.offset()));
+                sync.insert(self, name, e.offset());
                 (0, e)
             }
         };
@@ -817,9 +854,7 @@ impl<'a, M: Memory> Domain<'a, M> {
         lsn: u64,
         sync: &IndexSync<'_>,
     ) {
-        let e = sync
-            .read(|| self.lookup(name))
-            .expect("extend of existing object");
+        let e = sync.lookup(self, name).expect("extend of existing object");
         // SAFETY: exclusive entry access via CC.
         let old = unsafe {
             let old = (*self.arena.resolve(e)).size;
@@ -841,7 +876,7 @@ impl<'a, M: Memory> Domain<'a, M> {
     /// [`Domain::install_delete`] under an explicit B-tree sync mode.
     pub fn install_delete_sync(&self, name: &[u8], sync: &IndexSync<'_>) {
         let e = sync
-            .read(|| self.lookup(name))
+            .lookup(self, name)
             .expect("delete of existing object (planned)");
         // SAFETY: exclusive entry access via CC.
         let old = unsafe {
@@ -851,7 +886,7 @@ impl<'a, M: Memory> Domain<'a, M> {
             self.arena.free(e);
             old
         };
-        sync.write(|| self.btree().remove(name));
+        sync.remove(self, name);
         self.counters_add(-1, -(old as i64));
     }
 
@@ -912,7 +947,7 @@ impl<'a, M: Memory> Domain<'a, M> {
                     self.shard_push(home, b);
                 }
                 let plan = PutPlan {
-                    kind: if sync.read(|| self.lookup(&rec.name)).is_some() {
+                    kind: if sync.lookup(self, &rec.name).is_some() {
                         if img.pops == 0 && img.pushes.is_empty() {
                             PutKind::Touch
                         } else {

@@ -42,10 +42,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn run_case(ops: &[Op], ckpt: CheckpointMode, logging: LoggingMode) -> Result<(), TestCaseError> {
+fn run_case(
+    ops: &[Op],
+    ckpt: CheckpointMode,
+    logging: LoggingMode,
+    olc: bool,
+) -> Result<(), TestCaseError> {
+    // Pinned explicitly (not via `DSTORE_INDEX_OLC`) so each leg tests a
+    // known index mode regardless of the environment.
     let cfg = DStoreConfig::small()
         .with_checkpoint(ckpt)
         .with_logging(logging)
+        .with_index_olc(olc)
         .with_auto_checkpoint(false);
     let s = DStore::create(cfg).unwrap();
     let ctx = s.context();
@@ -122,16 +130,28 @@ proptest! {
 
     #[test]
     fn dipper_logical_crash_equivalence(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        run_case(&ops, CheckpointMode::Dipper, LoggingMode::Logical)?;
+        run_case(&ops, CheckpointMode::Dipper, LoggingMode::Logical, true)?;
     }
 
     #[test]
     fn dipper_physical_crash_equivalence(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        run_case(&ops, CheckpointMode::Dipper, LoggingMode::Physical)?;
+        run_case(&ops, CheckpointMode::Dipper, LoggingMode::Physical, true)?;
     }
 
     #[test]
     fn cow_logical_crash_equivalence(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        run_case(&ops, CheckpointMode::Cow, LoggingMode::Logical)?;
+        run_case(&ops, CheckpointMode::Cow, LoggingMode::Logical, true)?;
+    }
+
+    // Global-lock legs (`index_olc = false`): the pre-OLC index mode must
+    // keep the same §3.6 equivalence on both checkpoint engines.
+    #[test]
+    fn dipper_logical_crash_equivalence_global_lock(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_case(&ops, CheckpointMode::Dipper, LoggingMode::Logical, false)?;
+    }
+
+    #[test]
+    fn cow_logical_crash_equivalence_global_lock(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_case(&ops, CheckpointMode::Cow, LoggingMode::Logical, false)?;
     }
 }

@@ -9,13 +9,45 @@
 //!
 //! # Concurrency
 //!
-//! The tree is a single-writer structure; DStore wraps it in a short
-//! critical section (the paper measures its in-lock metadata work at
-//! <300 ns, §5.3) and extracts parallelism *across* structures via
-//! observational equivalence, not inside the tree.
+//! Two operating modes share one node layout:
+//!
+//! * **Exclusive** ([`BTreeHandle::get`], [`BTreeHandle::insert`],
+//!   [`BTreeHandle::remove`], the `for_each*` walkers): the caller holds an
+//!   external lock and the tree behaves like the original single-writer
+//!   structure.
+//! * **Optimistic lock coupling** (`*_olc` methods): every node's first
+//!   word is a seqlock-style version/latch. Readers snapshot a node's
+//!   version, read its fields with volatile loads, and re-validate the
+//!   version before trusting anything (restarting from the root on
+//!   conflict, with bounded [`Backoff`]). Writers latch-couple top-down:
+//!   a node's version is made odd (CAS `v → v+1`) while it is being
+//!   modified and bumped to `v+2` on release, so readers that overlapped a
+//!   modification always fail validation.
+//!
+//! Three details make the optimistic protocol sound on arena memory:
+//!
+//! 1. **Type-stable nodes.** Freed nodes are never returned to the arena;
+//!    they go on an internal per-tree free list (linked through
+//!    `children[0]`) and are only ever reused as nodes. A stale reader can
+//!    therefore always interpret the first word of a dangling node pointer
+//!    as a version word.
+//! 2. **Monotonic version clock.** The header carries a `version_clock`
+//!    that is raised above a node's final version when the node is freed
+//!    (`fetch_max`), and every (re)allocated node takes its fresh version
+//!    from the clock. A recycled node can never re-expose a version an
+//!    old reader snapped from that memory, which defeats ABA validation.
+//!    While free, a node's version is `OBSOLETE` (odd), failing both
+//!    validation and latch acquisition.
+//! 3. **Hand-over-hand validation.** Key bytes live outside nodes and
+//!    *are* recycled through the arena, so readers never trust a node's
+//!    content until the parent version that produced the child pointer has
+//!    been re-validated, and all byte accesses on the optimistic path are
+//!    bounds-checked against the region instead of asserted.
 
 use dstore_arena::{Arena, ArenaPod, ByteSlice, Memory, RelPtr};
+use dstore_pmem::Backoff;
 use std::cmp::Ordering;
+use std::sync::atomic::{fence, AtomicU64, Ordering as AO};
 
 /// Minimum degree `t`: every node except the root holds at least `t-1`
 /// keys; every node holds at most `2t-1`.
@@ -25,9 +57,42 @@ const MAX_KEYS: usize = 2 * T - 1;
 /// Maximum children per node.
 const MAX_CHILDREN: usize = 2 * T;
 
+/// Version word of a freed (pooled) node: odd, so it fails validation and
+/// latch acquisition, and distinct from any live latched version because
+/// the version clock never reaches it.
+const OBSOLETE: u64 = u64::MAX;
+
+/// How long a reader spins waiting for a latched node's version to settle
+/// before giving up and restarting the whole operation.
+const READ_SPIN_CAP: u32 = 128;
+/// How long a writer spins on a held latch before restarting. Kept small:
+/// on an oversubscribed core the latch holder needs our timeslice.
+const LATCH_SPIN_CAP: u32 = 256;
+
+/// Contention counters for the optimistic protocol, shared by every handle
+/// attached to the same logical tree (frontend, shadow apply, replay).
+#[derive(Debug, Default)]
+pub struct OlcStats {
+    /// Operations that had to restart from the root (failed validation,
+    /// torn read, latch timeout).
+    pub restarts: AtomicU64,
+    /// Latch acquisitions that found the latch held and had to wait.
+    pub latch_waits: AtomicU64,
+}
+
+/// Internal marker: optimistic validation failed, restart from the root.
+#[derive(Debug, Clone, Copy)]
+struct Conflict;
+
 /// A B-tree node. `#[repr(C)]` and pod so it can live in an arena.
+///
+/// `version` MUST stay the first field: the free-node scrub in
+/// `alloc_node` skips the first 8 bytes so the version word is never
+/// transiently zero while stale readers may still validate against it.
 #[repr(C)]
 pub struct Node {
+    /// Seqlock version/latch word (odd = latched or obsolete).
+    version: u64,
     /// 1 if leaf, 0 if internal.
     leaf: u16,
     /// Number of keys currently stored.
@@ -38,9 +103,9 @@ pub struct Node {
     children: [RelPtr<Node>; MAX_CHILDREN],
 }
 
-// SAFETY: Node is repr(C), built from pods, zero-valid (leaf=0/count=0 with
-// null pointers is a valid empty internal node that is never dereferenced
-// before initialization).
+// SAFETY: Node is repr(C), built from pods, zero-valid (version=0 is an
+// even unlatched version; leaf=0/count=0 with null pointers is a valid
+// empty internal node that is never dereferenced before initialization).
 unsafe impl ArenaPod for Node {}
 
 /// Arena-resident tree root state.
@@ -49,19 +114,37 @@ unsafe impl ArenaPod for Node {}
 pub struct BTreeHeader {
     root: RelPtr<Node>,
     len: u64,
+    /// Seqlock version/latch word covering `root` (root swaps only).
+    version: u64,
+    /// Head of the internal free-node pool (linked through `children[0]`).
+    free_nodes: RelPtr<Node>,
+    /// Spinlock word guarding `free_nodes`.
+    pool_lock: u64,
+    /// Monotonic (even) clock for fresh node versions; raised above every
+    /// freed node's version so recycled nodes always fail stale readers.
+    version_clock: u64,
 }
 
-// SAFETY: two pods; zero means "empty tree".
+// SAFETY: pods only; zero means "empty tree, version 0, empty pool".
 unsafe impl ArenaPod for BTreeHeader {}
 
 /// A handle binding a tree header to the arena it lives in.
 ///
-/// All mutating methods require external synchronization (callers hold the
-/// store's index lock); read methods may run concurrently with each other
-/// but not with writers.
+/// The exclusive methods require external synchronization; the `*_olc`
+/// methods may run fully concurrently with each other (any mix of readers
+/// and writers) but must not be mixed with exclusive mutation on the same
+/// tree at the same time.
 pub struct BTreeHandle<'a, M: Memory> {
     arena: &'a Arena<M>,
     hdr: RelPtr<BTreeHeader>,
+}
+
+/// Reinterprets a `u64` field as an atomic. Same trick as the replay
+/// counters in `dstore-core`: the arena hands out plain pods, concurrency
+/// is layered on via atomic views of the same memory.
+#[inline]
+unsafe fn as_atomic(p: *const u64) -> &'static AtomicU64 {
+    &*(p as *const AtomicU64)
 }
 
 impl<'a, M: Memory> BTreeHandle<'a, M> {
@@ -78,6 +161,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
             let h = &mut *arena.resolve(hdr);
             h.root = root;
             h.len = 0;
+            h.version_clock = 2;
         }
         Self { arena, hdr }
     }
@@ -95,8 +179,9 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
 
     /// Number of entries.
     pub fn len(&self) -> u64 {
-        // SAFETY: header is live for the handle's lifetime.
-        unsafe { (*self.arena.resolve(self.hdr)).len }
+        // SAFETY: header is live for the handle's lifetime; atomic view
+        // because OLC writers update it without the tree lock.
+        unsafe { as_atomic(&raw const (*self.arena.resolve(self.hdr)).len).load(AO::Relaxed) }
     }
 
     /// Whether the tree is empty.
@@ -105,7 +190,167 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
     }
 
     // ------------------------------------------------------------------
-    // helpers
+    // version-word helpers
+
+    /// The version/latch word of node `p`.
+    ///
+    /// SAFETY contract: `p` must point into the region (live or pooled
+    /// node — both keep a valid version word).
+    unsafe fn vword(&self, p: RelPtr<Node>) -> &AtomicU64 {
+        as_atomic(self.arena.resolve(p) as *const u64)
+    }
+
+    /// Waits (briefly) for an even, non-obsolete version and returns it.
+    fn stable_version(vw: &AtomicU64) -> Result<u64, Conflict> {
+        let mut spins = 0u32;
+        loop {
+            let v = vw.load(AO::Acquire);
+            if v == OBSOLETE {
+                return Err(Conflict);
+            }
+            if v & 1 == 0 {
+                return Ok(v);
+            }
+            spins += 1;
+            if spins >= READ_SPIN_CAP {
+                return Err(Conflict);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Acquires the latch on `vw` (CAS even → odd), returning the pre-latch
+    /// version. Fails on an obsolete node or after a bounded spin.
+    fn lock_vword(vw: &AtomicU64, stats: &OlcStats) -> Result<u64, Conflict> {
+        let mut spins = 0u32;
+        let mut waited = false;
+        loop {
+            let v = vw.load(AO::Relaxed);
+            if v == OBSOLETE {
+                return Err(Conflict);
+            }
+            if v & 1 == 0 {
+                if vw
+                    .compare_exchange_weak(v, v + 1, AO::Acquire, AO::Relaxed)
+                    .is_ok()
+                {
+                    return Ok(v);
+                }
+            } else if !waited {
+                waited = true;
+                stats.latch_waits.fetch_add(1, AO::Relaxed);
+            }
+            spins += 1;
+            if spins >= LATCH_SPIN_CAP {
+                return Err(Conflict);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Releases the latch on node `p` (odd version → next even).
+    ///
+    /// SAFETY contract: caller holds the latch.
+    unsafe fn unlock_node(&self, p: RelPtr<Node>) {
+        let vw = self.vword(p);
+        debug_assert!(vw.load(AO::Relaxed) & 1 == 1, "unlocking unlatched node");
+        vw.fetch_add(1, AO::Release);
+    }
+
+    /// Bounds- and alignment-checks an optimistically read node pointer.
+    /// A torn or recycled pointer yields `Conflict`, never UB or a panic.
+    fn try_node_ptr(&self, p: RelPtr<Node>) -> Result<*mut Node, Conflict> {
+        let off = p.offset() as usize;
+        if off == 0
+            || !off.is_multiple_of(std::mem::align_of::<Node>())
+            || off + std::mem::size_of::<Node>() > self.arena.memory().len()
+        {
+            return Err(Conflict);
+        }
+        // SAFETY: bounds just checked; the region stays mapped for 'a.
+        Ok(unsafe { p.to_abs(self.arena.memory().base()) })
+    }
+
+    /// Adds `d` to the entry counter (atomic: OLC writers race on it).
+    fn len_add(&self, d: i64) {
+        // SAFETY: header is live for the handle's lifetime.
+        unsafe {
+            let l = as_atomic(&raw const (*self.arena.resolve(self.hdr)).len);
+            if d >= 0 {
+                l.fetch_add(d as u64, AO::Relaxed);
+            } else {
+                l.fetch_sub(d.unsigned_abs(), AO::Relaxed);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // node pool (type-stable node memory)
+
+    /// Allocates a node, preferring the internal pool. The returned node is
+    /// fully zeroed except for its version word, which is a fresh even
+    /// value from the header clock (never transiently 0 on reuse).
+    unsafe fn alloc_node(&self) -> RelPtr<Node> {
+        let hdr = self.arena.resolve(self.hdr);
+        let pool = as_atomic(&raw const (*hdr).pool_lock);
+        while pool
+            .compare_exchange_weak(0, 1, AO::Acquire, AO::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        let head = std::ptr::read_volatile(&raw const (*hdr).free_nodes);
+        let p = if head.is_null() {
+            pool.store(0, AO::Release);
+            self.arena.alloc::<Node>()
+        } else {
+            let hn = self.arena.resolve(head);
+            let next = std::ptr::read_volatile(&raw const (*hn).children[0]);
+            std::ptr::write_volatile(&raw mut (*hdr).free_nodes, next);
+            pool.store(0, AO::Release);
+            head
+        };
+        let np = self.arena.resolve(p);
+        // Scrub everything EXCEPT the version word (first 8 bytes): stale
+        // readers may still be validating against it, and 0 is a plausible
+        // live version.
+        std::ptr::write_bytes((np as *mut u8).add(8), 0, std::mem::size_of::<Node>() - 8);
+        let clock = as_atomic(&raw const (*hdr).version_clock);
+        let v = clock.fetch_add(2, AO::Relaxed);
+        as_atomic(np as *const u64).store(v, AO::Release);
+        p
+    }
+
+    /// Retires a node to the internal pool. Never returns node memory to
+    /// the arena — that keeps node memory type-stable for stale readers.
+    /// Raises the version clock above the node's final version first, so a
+    /// future reuse can never re-expose a version this memory already had.
+    ///
+    /// SAFETY contract: node is unreachable from the tree (caller already
+    /// unlinked it); caller may still hold its latch (it is consumed).
+    unsafe fn free_node(&self, p: RelPtr<Node>) {
+        let hdr = self.arena.resolve(self.hdr);
+        let np = self.arena.resolve(p);
+        let vw = as_atomic(np as *const u64);
+        let v = vw.load(AO::Relaxed);
+        // Next even value strictly above v (works for latched odd v too).
+        as_atomic(&raw const (*hdr).version_clock).fetch_max((v | 1) + 1, AO::Relaxed);
+        vw.store(OBSOLETE, AO::Release);
+        let pool = as_atomic(&raw const (*hdr).pool_lock);
+        while pool
+            .compare_exchange_weak(0, 1, AO::Acquire, AO::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        let head = std::ptr::read_volatile(&raw const (*hdr).free_nodes);
+        std::ptr::write_volatile(&raw mut (*np).children[0], head);
+        std::ptr::write_volatile(&raw mut (*hdr).free_nodes, p);
+        pool.store(0, AO::Release);
+    }
+
+    // ------------------------------------------------------------------
+    // shared helpers
 
     /// Raw node access.
     ///
@@ -139,10 +384,36 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
         Err(n.count as usize)
     }
 
-    // ------------------------------------------------------------------
-    // lookup
+    /// Optimistic key compare: every byte is read volatile and
+    /// bounds-checked, because the slice header may be torn or the key
+    /// bytes already recycled. A bad slice is a `Conflict`, not a panic.
+    fn cmp_olc(&self, stored: ByteSlice, probe: &[u8]) -> Result<Ordering, Conflict> {
+        let len = stored.len as usize;
+        if len == 0 {
+            return Ok((&[] as &[u8]).cmp(probe));
+        }
+        let off = stored.ptr.offset() as usize;
+        let mem = self.arena.memory();
+        if off == 0 || len > mem.len() || off > mem.len() - len {
+            return Err(Conflict);
+        }
+        let base = mem.base();
+        let common = len.min(probe.len());
+        for (i, &pb) in probe.iter().enumerate().take(common) {
+            // SAFETY: bounds checked above; region stays mapped.
+            let b = unsafe { std::ptr::read_volatile(base.add(off + i)) };
+            match b.cmp(&pb) {
+                Ordering::Equal => {}
+                o => return Ok(o),
+            }
+        }
+        Ok(len.cmp(&probe.len()))
+    }
 
-    /// Returns the value stored for `key`.
+    // ------------------------------------------------------------------
+    // exclusive lookup
+
+    /// Returns the value stored for `key` (exclusive mode).
     pub fn get(&self, key: &[u8]) -> Option<u64> {
         // SAFETY: read-only traversal of live nodes.
         unsafe {
@@ -168,7 +439,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
     }
 
     // ------------------------------------------------------------------
-    // insert
+    // exclusive insert
 
     /// Inserts `key → val`; returns the previous value if the key existed.
     pub fn insert(&self, key: &[u8], val: u64) -> Option<u64> {
@@ -178,7 +449,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
             let root = (*hdr).root;
             if self.node(root).count as usize == MAX_KEYS {
                 // Grow the tree: new root with old root as child 0.
-                let new_root: RelPtr<Node> = self.arena.alloc();
+                let new_root = self.alloc_node();
                 {
                     let nr = self.node(new_root);
                     nr.leaf = 0;
@@ -190,7 +461,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
             }
             let prev = self.insert_nonfull((*hdr).root, key, val);
             if prev.is_none() {
-                (*hdr).len += 1;
+                self.len_add(1);
             }
             prev
         }
@@ -198,9 +469,9 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
 
     /// Splits the full child `ci` of `parent` (which must not be full).
     unsafe fn split_child(&self, parent: RelPtr<Node>, ci: usize) {
+        let left_ptr = self.node(parent).children[ci];
+        let right_ptr = self.alloc_node();
         let p = self.node(parent);
-        let left_ptr = p.children[ci];
-        let right_ptr: RelPtr<Node> = self.arena.alloc();
         let left = self.node(left_ptr);
         let right = self.node(right_ptr);
         debug_assert_eq!(left.count as usize, MAX_KEYS);
@@ -273,7 +544,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
     }
 
     // ------------------------------------------------------------------
-    // delete (top-down, pre-emptive rebalancing)
+    // exclusive delete (top-down, pre-emptive rebalancing)
 
     /// Removes `key`; returns its value if present.
     pub fn remove(&self, key: &[u8]) -> Option<u64> {
@@ -287,12 +558,12 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
             if r.leaf == 0 && r.count == 0 {
                 let old_root = (*hdr).root;
                 (*hdr).root = r.children[0];
-                self.arena.free(old_root);
+                self.free_node(old_root);
             }
             match removed {
                 Some((slice, val)) => {
                     self.arena.free_bytes(slice);
-                    (*hdr).len -= 1;
+                    self.len_add(-1);
                     Some(val)
                 }
                 None => None,
@@ -473,7 +744,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
     }
 
     /// Merges separator `si` and `children[si+1]` into `children[si]`,
-    /// freeing the right node.
+    /// retiring the right node to the pool.
     unsafe fn merge_children(&self, p: RelPtr<Node>, si: usize) {
         let n = self.node(p);
         let left_ptr = n.children[si];
@@ -508,11 +779,642 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
         n.keys[pc - 1] = ByteSlice::empty();
         n.children[pc] = RelPtr::null();
         n.count -= 1;
-        self.arena.free(right_ptr);
+        self.free_node(right_ptr);
     }
 
     // ------------------------------------------------------------------
-    // iteration & introspection
+    // optimistic lookup
+
+    /// Returns the value stored for `key` without taking any lock.
+    ///
+    /// Safe to run concurrently with `*_olc` writers; restarts internally
+    /// on conflict (counted in `stats.restarts`).
+    pub fn get_olc(&self, key: &[u8], stats: &OlcStats) -> Option<u64> {
+        let mut bo = Backoff::new();
+        loop {
+            match self.try_get_olc(key) {
+                Ok(r) => return r,
+                Err(Conflict) => {
+                    stats.restarts.fetch_add(1, AO::Relaxed);
+                    bo.snooze();
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present (optimistic).
+    pub fn contains_olc(&self, key: &[u8], stats: &OlcStats) -> bool {
+        self.get_olc(key, stats).is_some()
+    }
+
+    /// One optimistic descent. Every load is volatile, every pointer and
+    /// slice is bounds-checked, and each node's version is validated after
+    /// its fields (and the parent's version after reading the child
+    /// pointer, hand-over-hand) before anything is trusted.
+    fn try_get_olc(&self, key: &[u8]) -> Result<Option<u64>, Conflict> {
+        // SAFETY: all raw reads are bounds-checked against the region and
+        // never trusted until the covering version validates.
+        unsafe {
+            let hdr = self.arena.resolve(self.hdr);
+            let hvw = as_atomic(&raw const (*hdr).version);
+            let mut pv = Self::stable_version(hvw)?;
+            let mut pvw = hvw;
+            let mut p = std::ptr::read_volatile(&raw const (*hdr).root);
+            loop {
+                let np = self.try_node_ptr(p)?;
+                let nvw = as_atomic(np as *const u64);
+                let nv = Self::stable_version(nvw)?;
+                // The child pointer we followed is only meaningful if the
+                // parent did not change under us.
+                if pvw.load(AO::Acquire) != pv {
+                    return Err(Conflict);
+                }
+                let leaf = std::ptr::read_volatile(&raw const (*np).leaf);
+                let count = std::ptr::read_volatile(&raw const (*np).count) as usize;
+                if count > MAX_KEYS {
+                    return Err(Conflict);
+                }
+                // Linear position scan with torn-read-safe compares.
+                let mut descend = count;
+                let mut hit: Option<u64> = None;
+                for i in 0..count {
+                    let ks = std::ptr::read_volatile(&raw const (*np).keys[i]);
+                    match self.cmp_olc(ks, key)? {
+                        Ordering::Equal => {
+                            hit = Some(std::ptr::read_volatile(&raw const (*np).vals[i]));
+                            break;
+                        }
+                        Ordering::Greater => {
+                            descend = i;
+                            break;
+                        }
+                        Ordering::Less => {}
+                    }
+                }
+                let child = std::ptr::read_volatile(&raw const (*np).children[descend]);
+                // Validate everything read from this node.
+                fence(AO::Acquire);
+                if nvw.load(AO::Acquire) != nv {
+                    return Err(Conflict);
+                }
+                if let Some(v) = hit {
+                    return Ok(Some(v));
+                }
+                if leaf == 1 {
+                    return Ok(None);
+                }
+                p = child;
+                pvw = nvw;
+                pv = nv;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // optimistic insert / remove (lock coupling)
+
+    /// Inserts `key → val` holding only per-node latches; returns the
+    /// previous value if the key existed.
+    pub fn insert_olc(&self, key: &[u8], val: u64, stats: &OlcStats) -> Option<u64> {
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: latches acquired top-down; see try_insert_olc.
+            match unsafe { self.try_insert_olc(key, val, stats) } {
+                Ok(prev) => {
+                    if prev.is_none() {
+                        self.len_add(1);
+                    }
+                    return prev;
+                }
+                Err(Conflict) => {
+                    stats.restarts.fetch_add(1, AO::Relaxed);
+                    bo.snooze();
+                }
+            }
+        }
+    }
+
+    /// Removes `key` holding only per-node latches; returns its value if
+    /// present.
+    pub fn remove_olc(&self, key: &[u8], stats: &OlcStats) -> Option<u64> {
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: latches acquired top-down; see try_remove_olc.
+            match unsafe { self.try_remove_olc(key, stats) } {
+                Ok(Some((slice, val))) => {
+                    self.arena.free_bytes(slice);
+                    self.len_add(-1);
+                    return Some(val);
+                }
+                Ok(None) => return None,
+                Err(Conflict) => {
+                    stats.restarts.fetch_add(1, AO::Relaxed);
+                    bo.snooze();
+                }
+            }
+        }
+    }
+
+    /// Latches the root node, handling a concurrent root swap: read the
+    /// root pointer, latch it, then re-check the pointer (the swap happens
+    /// under the old root's latch, so a stale latch always detects it).
+    unsafe fn latch_root(&self, stats: &OlcStats) -> Result<RelPtr<Node>, Conflict> {
+        let hdr = self.arena.resolve(self.hdr);
+        let p = std::ptr::read_volatile(&raw const (*hdr).root);
+        let np = self.try_node_ptr(p)?;
+        let vw = as_atomic(np as *const u64);
+        Self::lock_vword(vw, stats)?;
+        let p2 = std::ptr::read_volatile(&raw const (*hdr).root);
+        if p2.offset() != p.offset() {
+            self.unlock_node(p);
+            return Err(Conflict);
+        }
+        Ok(p)
+    }
+
+    /// Latches node `p` (a child reached under its parent's latch).
+    unsafe fn latch_node(&self, p: RelPtr<Node>, stats: &OlcStats) -> Result<(), Conflict> {
+        Self::lock_vword(self.vword(p), stats).map(|_| ())
+    }
+
+    /// Publishes a new root: latch the header version word, swap the
+    /// pointer, release. Caller holds the old root's latch, which makes
+    /// the header latch effectively uncontended (all root swaps happen
+    /// under the old root's latch).
+    unsafe fn publish_root(&self, new_root: RelPtr<Node>, stats: &OlcStats) {
+        let hdr = self.arena.resolve(self.hdr);
+        let hvw = as_atomic(&raw const (*hdr).version);
+        while Self::lock_vword(hvw, stats).is_err() {
+            std::hint::spin_loop();
+        }
+        std::ptr::write_volatile(&raw mut (*hdr).root, new_root);
+        hvw.fetch_add(1, AO::Release);
+    }
+
+    unsafe fn try_insert_olc(
+        &self,
+        key: &[u8],
+        val: u64,
+        stats: &OlcStats,
+    ) -> Result<Option<u64>, Conflict> {
+        let mut cur = self.latch_root(stats)?;
+        // Grow the tree if the root is full: split into a fresh root while
+        // both old root (latched) and new root (unpublished) are ours.
+        if self.node(cur).count as usize == MAX_KEYS {
+            let new_root = self.alloc_node();
+            {
+                let nr = self.node(new_root);
+                nr.leaf = 0;
+                nr.count = 0;
+                nr.children[0] = cur;
+            }
+            // Latch the new root pre-publication (always succeeds: the
+            // node is private). Keeps the "cur is latched" invariant after
+            // the swap.
+            self.latch_node(new_root, stats)?;
+            self.split_child(new_root, 0);
+            self.publish_root(new_root, stats);
+            self.unlock_node(cur);
+            cur = new_root;
+        }
+        // Invariant: cur is latched and not full.
+        loop {
+            let n = self.node(cur);
+            match self.position(n, key) {
+                Ok(i) => {
+                    let old = n.vals[i];
+                    n.vals[i] = val;
+                    self.unlock_node(cur);
+                    return Ok(Some(old));
+                }
+                Err(i) => {
+                    if n.leaf == 1 {
+                        let c = n.count as usize;
+                        for j in (i..c).rev() {
+                            n.keys[j + 1] = n.keys[j];
+                            n.vals[j + 1] = n.vals[j];
+                        }
+                        n.keys[i] = self.arena.alloc_bytes(key);
+                        n.vals[i] = val;
+                        n.count += 1;
+                        self.unlock_node(cur);
+                        return Ok(None);
+                    }
+                    let child = n.children[i];
+                    if let Err(e) = self.latch_node(child, stats) {
+                        self.unlock_node(cur);
+                        return Err(e);
+                    }
+                    if self.node(child).count as usize == MAX_KEYS {
+                        // Split under both latches; the new right sibling
+                        // is only reachable through latched `cur`.
+                        self.split_child(cur, i);
+                        match self.cmp(self.node(cur).keys[i], key) {
+                            Ordering::Equal => {
+                                let n = self.node(cur);
+                                let old = n.vals[i];
+                                n.vals[i] = val;
+                                self.unlock_node(child);
+                                self.unlock_node(cur);
+                                return Ok(Some(old));
+                            }
+                            Ordering::Greater => {
+                                // key < median: continue into the left
+                                // child, which stays `child`.
+                                self.unlock_node(cur);
+                                cur = child;
+                            }
+                            Ordering::Less => {
+                                let right = self.node(cur).children[i + 1];
+                                // Fresh node, only reachable via latched
+                                // cur: latch cannot fail meaningfully.
+                                if let Err(e) = self.latch_node(right, stats) {
+                                    self.unlock_node(child);
+                                    self.unlock_node(cur);
+                                    return Err(e);
+                                }
+                                self.unlock_node(child);
+                                self.unlock_node(cur);
+                                cur = right;
+                            }
+                        }
+                    } else {
+                        self.unlock_node(cur);
+                        cur = child;
+                    }
+                }
+            }
+        }
+    }
+
+    unsafe fn try_remove_olc(
+        &self,
+        key: &[u8],
+        stats: &OlcStats,
+    ) -> Result<Option<(ByteSlice, u64)>, Conflict> {
+        let mut cur = self.latch_root(stats)?;
+        let mut is_root = true;
+        // Invariant: cur is latched, and (unless it is the root) holds at
+        // least T keys, so removals below never need to touch above it.
+        loop {
+            let n = self.node(cur);
+            match self.position(n, key) {
+                Err(i) => {
+                    if n.leaf == 1 {
+                        self.unlock_node(cur);
+                        return Ok(None);
+                    }
+                    let (child, _) = match self.fix_child_olc(cur, i, stats) {
+                        Ok(x) => x,
+                        Err(e) => {
+                            self.unlock_node(cur);
+                            return Err(e);
+                        }
+                    };
+                    self.descend_unlock(&mut cur, &mut is_root, child, stats);
+                }
+                Ok(i) => {
+                    if n.leaf == 1 {
+                        let out = self.remove_from_leaf(cur, i);
+                        self.unlock_node(cur);
+                        return Ok(Some(out));
+                    }
+                    // Internal hit: swap in the predecessor or successor,
+                    // keeping the WHOLE extreme-descent path latched so the
+                    // separator replacement and the leaf removal are one
+                    // atomic restructure from a reader's point of view.
+                    let left = n.children[i];
+                    let right = n.children[i + 1];
+                    if let Err(e) = self.latch_node(left, stats) {
+                        self.unlock_node(cur);
+                        return Err(e);
+                    }
+                    if self.node(left).count as usize >= T {
+                        return self.swap_separator(cur, i, left, true, stats);
+                    }
+                    if let Err(e) = self.latch_node(right, stats) {
+                        self.unlock_node(left);
+                        self.unlock_node(cur);
+                        return Err(e);
+                    }
+                    if self.node(right).count as usize >= T {
+                        self.unlock_node(left);
+                        return self.swap_separator(cur, i, right, false, stats);
+                    }
+                    // 2c: both children minimal — merge them around the
+                    // separator (consumes right's latch) and keep deleting
+                    // inside the merged node.
+                    self.merge_children(cur, i);
+                    self.descend_unlock(&mut cur, &mut is_root, left, stats);
+                }
+            }
+        }
+    }
+
+    /// Moves the latched descent from `cur` to `child`, shrinking the root
+    /// first when a merge just emptied it. Consumes `cur`'s latch.
+    unsafe fn descend_unlock(
+        &self,
+        cur: &mut RelPtr<Node>,
+        is_root: &mut bool,
+        child: RelPtr<Node>,
+        stats: &OlcStats,
+    ) {
+        let n = self.node(*cur);
+        if *is_root && n.leaf == 0 && n.count == 0 {
+            // The merge left an empty internal root whose only child is
+            // `child`: publish the child as the new root and retire the
+            // old one (free_node consumes its latch).
+            self.publish_root(child, stats);
+            self.free_node(*cur);
+        } else {
+            self.unlock_node(*cur);
+        }
+        *cur = child;
+        *is_root = false;
+    }
+
+    /// Case 2a/2b of the internal-hit delete: removes the extreme entry of
+    /// the latched subtree `sub` (predecessor if `max`, else successor)
+    /// with the full path latched, then swaps it into separator slot `i`
+    /// of `cur`. Unlocks everything and returns the removed separator.
+    unsafe fn swap_separator(
+        &self,
+        cur: RelPtr<Node>,
+        i: usize,
+        sub: RelPtr<Node>,
+        max: bool,
+        stats: &OlcStats,
+    ) -> Result<Option<(ByteSlice, u64)>, Conflict> {
+        let mut held: Vec<RelPtr<Node>> = Vec::new();
+        match self.delete_extreme_olc(sub, max, &mut held, stats) {
+            Ok((k, v)) => {
+                let n = self.node(cur);
+                let old = (n.keys[i], n.vals[i]);
+                n.keys[i] = k;
+                n.vals[i] = v;
+                for &h in held.iter().rev() {
+                    self.unlock_node(h);
+                }
+                self.unlock_node(cur);
+                Ok(Some(old))
+            }
+            Err(e) => {
+                for &h in held.iter().rev() {
+                    self.unlock_node(h);
+                }
+                self.unlock_node(cur);
+                Err(e)
+            }
+        }
+    }
+
+    /// Latched-path version of [`BTreeHandle::delete_extreme`]: every node
+    /// on the way down is pushed to `held` and stays latched until the
+    /// caller has swapped the separator. `start` must already be latched
+    /// and hold at least `T` keys.
+    unsafe fn delete_extreme_olc(
+        &self,
+        start: RelPtr<Node>,
+        max: bool,
+        held: &mut Vec<RelPtr<Node>>,
+        stats: &OlcStats,
+    ) -> Result<(ByteSlice, u64), Conflict> {
+        let mut p = start;
+        held.push(p);
+        loop {
+            let n = self.node(p);
+            if n.leaf == 1 {
+                let i = if max { n.count as usize - 1 } else { 0 };
+                return Ok(self.remove_from_leaf(p, i));
+            }
+            let ci = if max { n.count as usize } else { 0 };
+            let (child, _) = self.fix_child_olc(p, ci, stats)?;
+            held.push(child);
+            p = child;
+        }
+    }
+
+    /// Latch-coupled version of [`BTreeHandle::fix_child`]: latches
+    /// `children[ci]` of latched `p` and rebalances it to at least `T`
+    /// keys (borrow from a sibling, else merge). Returns the latched child
+    /// to descend into and its index; merged-away nodes are retired with
+    /// their latch consumed. On `Err` no new latches remain held.
+    unsafe fn fix_child_olc(
+        &self,
+        p: RelPtr<Node>,
+        ci: usize,
+        stats: &OlcStats,
+    ) -> Result<(RelPtr<Node>, usize), Conflict> {
+        let n = self.node(p);
+        let child = n.children[ci];
+        self.latch_node(child, stats)?;
+        if self.node(child).count as usize >= T {
+            return Ok((child, ci));
+        }
+        // Sibling latches are taken while holding the parent latch, so the
+        // only contention is a writer already below us — strictly bounded.
+        if ci > 0 {
+            let left = n.children[ci - 1];
+            if let Err(e) = self.latch_node(left, stats) {
+                self.unlock_node(child);
+                return Err(e);
+            }
+            if self.node(left).count as usize >= T {
+                self.rotate_right(p, ci - 1);
+                self.unlock_node(left);
+                return Ok((child, ci));
+            }
+            if ci < n.count as usize {
+                let right = n.children[ci + 1];
+                if let Err(e) = self.latch_node(right, stats) {
+                    self.unlock_node(left);
+                    self.unlock_node(child);
+                    return Err(e);
+                }
+                if self.node(right).count as usize >= T {
+                    self.rotate_left(p, ci);
+                    self.unlock_node(right);
+                    self.unlock_node(left);
+                    return Ok((child, ci));
+                }
+                self.unlock_node(right);
+            }
+            // Merge child into its left sibling (frees child, consuming
+            // its latch); continue into the survivor.
+            self.merge_children(p, ci - 1);
+            Ok((left, ci - 1))
+        } else {
+            let right = n.children[ci + 1];
+            if let Err(e) = self.latch_node(right, stats) {
+                self.unlock_node(child);
+                return Err(e);
+            }
+            if self.node(right).count as usize >= T {
+                self.rotate_left(p, ci);
+                self.unlock_node(right);
+                return Ok((child, ci));
+            }
+            // Merge right sibling into child (frees right, consuming its
+            // latch).
+            self.merge_children(p, ci);
+            Ok((child, ci))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // optimistic scans
+
+    /// Collects all entries in `[lo, hi)` without taking any lock. The
+    /// result is a hand-over-hand-consistent snapshot (each node read
+    /// atomically, child reads validated against the parent); the scan
+    /// restarts from scratch on conflict so no duplicates are emitted.
+    pub fn collect_range_olc(
+        &self,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        stats: &OlcStats,
+    ) -> Vec<(Vec<u8>, u64)> {
+        let mut bo = Backoff::new();
+        loop {
+            let mut out = Vec::new();
+            // SAFETY: every read bounds-checked and version-validated.
+            let r = unsafe {
+                let hdr = self.arena.resolve(self.hdr);
+                let hvw = as_atomic(&raw const (*hdr).version);
+                match Self::stable_version(hvw) {
+                    Ok(hv) => {
+                        let root = std::ptr::read_volatile(&raw const (*hdr).root);
+                        self.walk_range_olc(root, hvw, hv, lo, hi, 0, &mut out)
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match r {
+                Ok(()) => return out,
+                Err(Conflict) => {
+                    stats.restarts.fetch_add(1, AO::Relaxed);
+                    bo.snooze();
+                }
+            }
+        }
+    }
+
+    /// Collects every entry whose key starts with `prefix` (optimistic).
+    pub fn collect_prefix_olc(&self, prefix: &[u8], stats: &OlcStats) -> Vec<(Vec<u8>, u64)> {
+        let hi = prefix_upper_bound(prefix);
+        self.collect_range_olc(prefix, hi.as_deref(), stats)
+    }
+
+    /// Collects all entries (optimistic).
+    pub fn entries_olc(&self, stats: &OlcStats) -> Vec<(Vec<u8>, u64)> {
+        self.collect_range_olc(b"", None, stats)
+    }
+
+    /// Takes an owned, validated snapshot of one node: version, fields and
+    /// key bytes all copied out before the version check confirms nothing
+    /// moved. The parent's version is re-validated first so the child
+    /// pointer that led here is known-good (hand-over-hand).
+    unsafe fn snap_node(
+        &self,
+        p: RelPtr<Node>,
+        pvw: &AtomicU64,
+        pv: u64,
+        snap: &mut NodeSnap,
+    ) -> Result<&AtomicU64, Conflict> {
+        let np = self.try_node_ptr(p)?;
+        let nvw = as_atomic(np as *const u64);
+        let nv = Self::stable_version(nvw)?;
+        if pvw.load(AO::Acquire) != pv {
+            return Err(Conflict);
+        }
+        let count = std::ptr::read_volatile(&raw const (*np).count) as usize;
+        if count > MAX_KEYS {
+            return Err(Conflict);
+        }
+        snap.version = nv;
+        snap.leaf = std::ptr::read_volatile(&raw const (*np).leaf) == 1;
+        snap.keys.clear();
+        snap.vals.clear();
+        snap.children.clear();
+        let mem = self.arena.memory();
+        for i in 0..count {
+            let ks = std::ptr::read_volatile(&raw const (*np).keys[i]);
+            let len = ks.len as usize;
+            let off = ks.ptr.offset() as usize;
+            let mut key = Vec::new();
+            if len > 0 {
+                // Bounds-check BEFORE reserving: a torn length could be
+                // gigabytes.
+                if off == 0 || len > mem.len() || off > mem.len() - len {
+                    return Err(Conflict);
+                }
+                key.reserve_exact(len);
+                for b in 0..len {
+                    key.push(std::ptr::read_volatile(mem.base().add(off + b)));
+                }
+            }
+            snap.keys.push(key);
+            snap.vals
+                .push(std::ptr::read_volatile(&raw const (*np).vals[i]));
+        }
+        if !snap.leaf {
+            for i in 0..=count {
+                snap.children
+                    .push(std::ptr::read_volatile(&raw const (*np).children[i]));
+            }
+        }
+        fence(AO::Acquire);
+        if nvw.load(AO::Acquire) != nv {
+            return Err(Conflict);
+        }
+        Ok(nvw)
+    }
+
+    /// Range walk over validated node snapshots, pruning like
+    /// [`BTreeHandle::for_each_range`]. `Err` aborts the whole scan (the
+    /// caller clears and retries).
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn walk_range_olc(
+        &self,
+        p: RelPtr<Node>,
+        pvw: &AtomicU64,
+        pv: u64,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        depth: usize,
+        out: &mut Vec<(Vec<u8>, u64)>,
+    ) -> Result<(), Conflict> {
+        if depth > 64 {
+            // A torn pointer chain could loop; depth-bound it (a real tree
+            // of degree 8 never gets remotely this deep).
+            return Err(Conflict);
+        }
+        let mut snap = NodeSnap::default();
+        let nvw = self.snap_node(p, pvw, pv, &mut snap)?;
+        let c = snap.keys.len();
+        let mut start = 0;
+        while start < c && snap.keys[start].as_slice() < lo {
+            start += 1;
+        }
+        for i in start..c {
+            let in_range = hi.is_none_or(|h| snap.keys[i].as_slice() < h);
+            if !snap.leaf {
+                self.walk_range_olc(snap.children[i], nvw, snap.version, lo, hi, depth + 1, out)?;
+            }
+            if !in_range {
+                return Ok(());
+            }
+            out.push((std::mem::take(&mut snap.keys[i]), snap.vals[i]));
+        }
+        if !snap.leaf {
+            self.walk_range_olc(snap.children[c], nvw, snap.version, lo, hi, depth + 1, out)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // iteration & introspection (exclusive)
 
     /// In-order traversal; `f(key, value)` for every entry, ascending.
     pub fn for_each(&self, mut f: impl FnMut(&[u8], u64)) {
@@ -588,19 +1490,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
 
     /// Traverses every key starting with `prefix`, ascending.
     pub fn for_each_prefix(&self, prefix: &[u8], mut f: impl FnMut(&[u8], u64)) {
-        // The exclusive upper bound is prefix with its last byte bumped
-        // (carrying over 0xFF bytes); an all-0xFF prefix has no bound.
-        let mut hi = prefix.to_vec();
-        let hi = loop {
-            match hi.pop() {
-                None => break None,
-                Some(b) if b < 0xFF => {
-                    hi.push(b + 1);
-                    break Some(hi);
-                }
-                Some(_) => continue,
-            }
-        };
+        let hi = prefix_upper_bound(prefix);
         self.for_each_range(prefix, hi.as_deref(), |k, v| {
             debug_assert!(k.starts_with(prefix));
             f(k, v)
@@ -608,7 +1498,8 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
     }
 
     /// Verifies every B-tree invariant; panics with a description on
-    /// violation. Used by tests and debug assertions.
+    /// violation. Used by tests and debug assertions. Requires exclusive
+    /// access (quiesced tree).
     pub fn check_invariants(&self) {
         // SAFETY: read-only traversal.
         unsafe {
@@ -618,7 +1509,7 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
             self.check_node(root, true, None, None, 0, &mut depth, &mut count);
             assert_eq!(
                 count,
-                (*self.arena.resolve(self.hdr)).len,
+                self.len(),
                 "len counter disagrees with tree contents"
             );
         }
@@ -636,6 +1527,8 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
         count: &mut u64,
     ) {
         let n = self.node(p);
+        assert!(n.version != OBSOLETE, "reachable node marked obsolete");
+        assert!(n.version & 1 == 0, "reachable node left latched");
         let c = n.count as usize;
         assert!(c <= MAX_KEYS, "node overfull");
         if !is_root {
@@ -680,10 +1573,41 @@ impl<'a, M: Memory> BTreeHandle<'a, M> {
     }
 }
 
+/// Owned snapshot of one node, reused across [`BTreeHandle::snap_node`]
+/// calls in a scan.
+#[derive(Default)]
+struct NodeSnap {
+    version: u64,
+    leaf: bool,
+    keys: Vec<Vec<u8>>,
+    vals: Vec<u64>,
+    children: Vec<RelPtr<Node>>,
+}
+
+/// The exclusive upper bound of the key range sharing `prefix`: the prefix
+/// with its last byte bumped (carrying over 0xFF bytes); an all-0xFF
+/// prefix has no bound.
+fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut hi = prefix.to_vec();
+    loop {
+        match hi.pop() {
+            None => return None,
+            Some(b) if b < 0xFF => {
+                hi.push(b + 1);
+                return Some(hi);
+            }
+            Some(_) => continue,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fnv1a;
     use dstore_arena::DramMemory;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicBool;
 
     fn arena() -> Arena<DramMemory> {
         Arena::create(DramMemory::new(1 << 22))
@@ -905,5 +1829,186 @@ mod tests {
             "{}",
             std::mem::size_of::<Node>()
         );
+        // The free-node scrub and version protocol require the version
+        // word to be the first field.
+        assert_eq!(std::mem::offset_of!(Node, version), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // OLC mode
+
+    #[test]
+    fn olc_single_thread_matches_model() {
+        let a = arena();
+        let t = BTreeHandle::create(&a);
+        let stats = OlcStats::default();
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0u64..4000 {
+            let k = format!("olc{:04}", (i * 37) % 600);
+            if i % 3 == 0 {
+                assert_eq!(
+                    t.remove_olc(k.as_bytes(), &stats),
+                    model.remove(k.as_bytes()),
+                    "remove {k}"
+                );
+            } else {
+                assert_eq!(
+                    t.insert_olc(k.as_bytes(), i, &stats),
+                    model.insert(k.clone().into_bytes(), i),
+                    "insert {k}"
+                );
+            }
+            if i % 500 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        for (k, v) in &model {
+            assert_eq!(t.get_olc(k, &stats), Some(*v));
+        }
+        assert_eq!(t.get_olc(b"missing", &stats), None);
+        // Scans agree with the exclusive walkers.
+        let want: Vec<_> = model.into_iter().collect();
+        assert_eq!(t.entries_olc(&stats), want);
+        assert_eq!(t.entries(), want);
+    }
+
+    #[test]
+    fn olc_scans_prune_and_prefix() {
+        let a = arena();
+        let t = BTreeHandle::create(&a);
+        let stats = OlcStats::default();
+        for i in 0..1000u64 {
+            t.insert_olc(format!("k{i:04}").as_bytes(), i, &stats);
+        }
+        let got = t.collect_range_olc(b"k0100", Some(b"k0110"), &stats);
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, b"k0100");
+        assert_eq!(got[9].0, b"k0109");
+        assert_eq!(t.collect_range_olc(b"k0990", None, &stats).len(), 10);
+        assert_eq!(
+            t.collect_range_olc(b"k0500", Some(b"k0500"), &stats).len(),
+            0
+        );
+        t.insert_olc(&[0xFF, 0xFF, 1], 1, &stats);
+        assert_eq!(t.collect_prefix_olc(&[0xFF, 0xFF], &stats).len(), 1);
+        assert_eq!(t.collect_prefix_olc(b"", &stats).len(), 1001);
+    }
+
+    /// N writers splitting/merging nodes while M readers validate that
+    /// every observed value matches its key's FNV hash — a torn read
+    /// (value from one entry, key from another) would fail the check.
+    #[test]
+    fn olc_concurrent_readers_see_no_torn_values() {
+        let a = arena();
+        let hdr = BTreeHandle::create(&a).header_ptr();
+        let stats = OlcStats::default();
+        let stop = AtomicBool::new(false);
+        let key_of = |w: usize, i: usize| format!("w{w}/key{i:05}");
+        const WRITERS: usize = 2;
+        const READERS: usize = 2;
+        const KEYS: usize = 400;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let (a, stats, stop) = (&a, &stats, &stop);
+                s.spawn(move || {
+                    let t = BTreeHandle::attach(a, hdr);
+                    // Churn: fill, drain half, refill — forces splits,
+                    // borrows and merges while readers run.
+                    for round in 0..6 {
+                        for i in 0..KEYS {
+                            let k = key_of(w, i);
+                            t.insert_olc(k.as_bytes(), fnv1a(k.as_bytes()), stats);
+                        }
+                        for i in (round % 2..KEYS).step_by(2) {
+                            let k = key_of(w, i);
+                            t.remove_olc(k.as_bytes(), stats);
+                        }
+                    }
+                    stop.store(true, AO::Release);
+                });
+            }
+            for r in 0..READERS {
+                let (a, stats, stop) = (&a, &stats, &stop);
+                s.spawn(move || {
+                    let t = BTreeHandle::attach(a, hdr);
+                    let mut i = r;
+                    let mut hits = 0u64;
+                    while !stop.load(AO::Acquire) {
+                        let k = key_of(i % WRITERS, (i * 13) % KEYS);
+                        if let Some(v) = t.get_olc(k.as_bytes(), stats) {
+                            assert_eq!(v, fnv1a(k.as_bytes()), "torn read for {k}");
+                            hits += 1;
+                        }
+                        if i % 97 == 0 {
+                            for (k, v) in t.collect_prefix_olc(b"w0/", stats) {
+                                assert_eq!(v, fnv1a(&k), "torn scan entry");
+                            }
+                        }
+                        i += 1;
+                    }
+                    hits
+                });
+            }
+        });
+        // Quiesced: the tree must be structurally sound.
+        let t = BTreeHandle::attach(&a, hdr);
+        t.check_invariants();
+        for (k, v) in t.entries() {
+            assert_eq!(v, fnv1a(&k));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Concurrent equivalence: writers on disjoint key spaces apply
+        /// arbitrary op sequences concurrently; the final tree must equal
+        /// the union of the per-writer sequential models.
+        #[test]
+        fn olc_concurrent_disjoint_writers_equivalence(
+            ops in proptest::collection::vec(
+                (0usize..3, 0u16..120, any::<u64>()), 60..240),
+        ) {
+            let a = arena();
+            let hdr = BTreeHandle::create(&a).header_ptr();
+            let stats = OlcStats::default();
+            const WRITERS: usize = 3;
+            let mut models: Vec<std::collections::BTreeMap<Vec<u8>, u64>> =
+                vec![Default::default(); WRITERS];
+            // Compute each writer's sequential model up front.
+            for (w, model) in models.iter_mut().enumerate() {
+                for &(op, k, v) in &ops {
+                    let key = format!("w{w}/{k:05}").into_bytes();
+                    match op {
+                        0 | 1 => { model.insert(key, v); }
+                        _ => { model.remove(&key); }
+                    }
+                }
+            }
+            std::thread::scope(|s| {
+                for w in 0..WRITERS {
+                    let (a, stats, ops) = (&a, &stats, &ops);
+                    s.spawn(move || {
+                        let t = BTreeHandle::attach(a, hdr);
+                        for &(op, k, v) in ops {
+                            let key = format!("w{w}/{k:05}").into_bytes();
+                            match op {
+                                0 | 1 => { t.insert_olc(&key, v, stats); }
+                                _ => { t.remove_olc(&key, stats); }
+                            }
+                        }
+                    });
+                }
+            });
+            let t = BTreeHandle::attach(&a, hdr);
+            t.check_invariants();
+            let mut want: Vec<(Vec<u8>, u64)> = vec![];
+            for m in models {
+                want.extend(m);
+            }
+            want.sort();
+            prop_assert_eq!(t.entries(), want);
+        }
     }
 }

@@ -16,7 +16,7 @@
 pub mod btree;
 pub mod readcount;
 
-pub use btree::{BTreeHandle, BTreeHeader};
+pub use btree::{BTreeHandle, BTreeHeader, OlcStats};
 pub use readcount::{ReadCounts, ReadGuard};
 
 /// FNV-1a hash of a byte string — used for shard selection and object-name

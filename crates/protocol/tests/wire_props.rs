@@ -84,9 +84,12 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             snap.push_counter("dstore_pmem_dedup_lines_total", labels.clone(), flushes ^ fences);
             snap.push_counter(
                 "dstore_pmem_elided_lines_total",
-                labels,
+                labels.clone(),
                 flushes.wrapping_add(fences),
             );
+            // Index OLC conflict counters ride the same snapshot.
+            snap.push_counter("dstore_index_restarts_total", labels.clone(), flushes >> 1);
+            snap.push_counter("dstore_index_latch_waits_total", labels, fences >> 1);
             Response::Telemetry(snap)
         }),
         1 => (any::<u64>(), any::<u64>()).prop_map(|(lsn, n)| {
@@ -151,6 +154,27 @@ fn feed_chunked(
         prev = p;
         on_chunk(decoder);
     }
+}
+
+/// The OLC index counters survive the wire encode/decode unchanged —
+/// `dstore_top --server` reads these two names from the decoded
+/// snapshot, so their round-trip is pinned here by name.
+#[test]
+fn index_olc_counters_roundtrip_by_name() {
+    let mut snap = dstore_telemetry::TelemetrySnapshot::new();
+    snap.push_counter("dstore_index_restarts_total", vec![], 42);
+    snap.push_counter("dstore_index_latch_waits_total", vec![], 7);
+    let mut stream = Vec::new();
+    encode_response(9, &Response::Telemetry(snap), &mut stream);
+    let mut dec = FrameDecoder::new();
+    dec.push(&stream);
+    let (id, resp) = dec.next_response().unwrap().expect("one whole frame");
+    assert_eq!(id, 9);
+    let Ok(Response::Telemetry(got)) = resp else {
+        panic!("expected a telemetry response, got {resp:?}");
+    };
+    assert_eq!(got.counter_total("dstore_index_restarts_total"), 42);
+    assert_eq!(got.counter_total("dstore_index_latch_waits_total"), 7);
 }
 
 proptest! {
